@@ -1,0 +1,277 @@
+(* The benchmark / experiment harness: one section per artifact of the
+   paper (see DESIGN.md's experiment index).
+
+     dune exec bench/main.exe             -- every section
+     dune exec bench/main.exe -- fig5     -- one section
+
+   Sections:
+     fig1..fig6  the proof-construction artifacts (Figures 1-6), run
+                 against the two TMs on which the construction completes
+                 end to end (candidate and si-clock)
+     triangle    the Section-5 triangle verdicts (T-A)
+     scaling     disjoint vs conflicting throughput sweep (T-B)
+     checkers    decision-procedure microbenchmarks, bechamel (T-C)
+     hierarchy   the anomaly x checker separation matrix (T-D)
+*)
+
+open Core
+
+let section_enabled name =
+  let requested =
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun s -> s <> "--")
+  in
+  requested = [] || List.mem name requested
+  || (List.mem "figures" requested
+     && String.length name = 4
+     && String.sub name 0 3 = "fig")
+
+let banner name = Format.printf "@.=============== %s ===============@." name
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-6 *)
+
+let figure_reports =
+  lazy
+    (List.filter_map
+       (fun name ->
+         let impl = Registry.find_exn name in
+         let r = Pcl_claims.analyse impl in
+         match r.Pcl_claims.outcome with
+         | Ok d -> Some (name, d)
+         | Error _ -> None)
+       [ "candidate"; "si-clock" ])
+
+let fig12 which =
+  List.iter
+    (fun (name, d) ->
+      Format.printf "[%s]@." name;
+      Format.printf "%a@."
+        (fun ppf () -> Pcl_figures.pp_fig12 ppf which d.Pcl_claims.cons)
+        ())
+    (Lazy.force figure_reports)
+
+let fig34 which =
+  List.iter
+    (fun (name, d) ->
+      let c = d.Pcl_claims.cons in
+      let label, atoms =
+        match which with
+        | `Fig3 -> ("beta", Pcl_constructions.beta c)
+        | `Fig4 -> ("beta'", Pcl_constructions.beta' c)
+      in
+      Format.printf "[%s] %a@." name Pcl_figures.pp_schedule_line
+        (label, atoms))
+    (Lazy.force figure_reports)
+
+let fig56 which =
+  List.iter
+    (fun (name, d) ->
+      let side, tids =
+        match which with
+        | `Fig5 -> (d.Pcl_claims.beta, [ 1; 2; 3; 4; 7 ])
+        | `Fig6 -> (d.Pcl_claims.beta', [ 1; 2; 5; 6; 7 ])
+      in
+      Format.printf "[%s]@.%a" name (Pcl_figures.pp_table tids side) ();
+      List.iter
+        (fun c -> Format.printf "  %a@." Pcl_figures.pp_check c)
+        side.Pcl_claims.checks;
+      Format.printf "@.")
+    (Lazy.force figure_reports)
+
+(* ------------------------------------------------------------------ *)
+(* T-A: the triangle *)
+
+let triangle () =
+  let verdicts = List.map Pcl_verdict.assess Registry.all in
+  Format.printf "%-12s %-13s %-13s %-13s@." "TM" "Parallelism" "Consistency"
+    "Liveness";
+  List.iter
+    (fun (v : Pcl_verdict.t) ->
+      let cell = function
+        | Pcl_verdict.Holds -> "holds"
+        | Pcl_verdict.Violated _ -> "VIOLATED"
+      in
+      Format.printf "%-12s %-13s %-13s %-13s@." v.Pcl_verdict.impl_name
+        (cell v.Pcl_verdict.parallelism)
+        (cell v.Pcl_verdict.consistency)
+        (cell v.Pcl_verdict.liveness))
+    verdicts;
+  Format.printf "@.Details:@.";
+  List.iter (fun v -> Format.printf "%a@." Pcl_verdict.pp v) verdicts
+
+(* ------------------------------------------------------------------ *)
+(* T-B: scaling sweep *)
+
+let scaling () =
+  Format.printf "%-12s %-6s %-9s %8s %8s %8s %12s %12s %10s@." "TM" "procs"
+    "conflict" "steps" "commits" "aborts" "steps/commit" "contentions"
+    "disjoint!";
+  List.iter
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      List.iter
+        (fun n_procs ->
+          List.iter
+            (fun conflict_pct ->
+              let cfg =
+                { Workload.default with Workload.n_procs; conflict_pct }
+              in
+              let s = Workload.run impl cfg in
+              Format.printf "%-12s %-6d %-9s %8d %8d %8d %12.1f %12d %10d%s@."
+                M.name n_procs
+                (Printf.sprintf "%d%%" conflict_pct)
+                s.Workload.steps s.Workload.commits s.Workload.aborts
+                (if s.Workload.commits = 0 then Float.nan
+                 else
+                   float_of_int s.Workload.steps
+                   /. float_of_int s.Workload.commits)
+                s.Workload.contentions s.Workload.disjoint_contentions
+                (if s.Workload.completed then "" else "  [STALLED]"))
+            [ 0; 50; 100 ])
+        [ 2; 4; 8 ];
+      Format.printf "@.")
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* T-C: checker microbenchmarks (bechamel) *)
+
+let sequential_history n_txns =
+  let instrs =
+    List.concat_map
+      (fun k ->
+        [ Build.B (k, ((k - 1) mod 3) + 1);
+          Build.R (k, "x", k - 1);
+          Build.W (k, "x", k); Build.C k ])
+      (List.init n_txns (fun i -> i + 1))
+  in
+  Build.history instrs
+
+let checkers () =
+  let open Bechamel in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let h = sequential_history n in
+        List.map
+          (fun (c : Spec.checker) ->
+            Test.make
+              ~name:(Printf.sprintf "%s/n=%d" c.Spec.name n)
+              (Staged.stage (fun () -> ignore (c.Spec.check h))))
+          [ Snapshot_isolation.checker; Processor_consistency.checker;
+            Weak_adaptive.checker; Serializability.checker ])
+      [ 2; 4; 6 ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"checkers" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ e ] -> Format.printf "  %-54s %14.0f ns/run@." name e
+      | _ -> Format.printf "  %-54s (no estimate)@." name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* T-E: liveness profiles *)
+
+let progress () =
+  Format.printf
+    "probe outcomes over every suspension point of a conflicting 2-item \
+     writer:@.";
+  Format.printf "%-12s %-22s %8s %8s %8s %8s@." "TM" "probe" "points"
+    "commits" "aborts" "stalls";
+  List.iter
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      List.iter
+        (fun disjoint ->
+          let p = Progress.run impl ~disjoint in
+          Format.printf "%-12s %-22s %8d %8d %8d %8d@." M.name
+            (if disjoint then "disjoint" else "conflicting")
+            p.Progress.points p.Progress.commits p.Progress.aborts
+            p.Progress.stalls)
+        [ false; true ])
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* T-F: empirical liveness classes *)
+
+let liveness () =
+  Format.printf "%-12s %-18s %s@." "TM" "class" "evidence";
+  List.iter
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      let r = Liveness_class.classify impl in
+      Format.printf "%-12s %-18s %s@." M.name
+        (Liveness_class.cls_to_string r.Liveness_class.cls)
+        r.Liveness_class.evidence)
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* T-D: hierarchy matrix *)
+
+let hierarchy () =
+  let short = function
+    | "opacity(final-state)" -> "opac"
+    | "strict-serializability" -> "sser"
+    | "serializability" -> "ser"
+    | "causal-serializability" -> "caus"
+    | "processor-consistency" -> "pc"
+    | "pram" -> "pram"
+    | "snapshot-isolation" -> "si"
+  | "snapshot-isolation(ei)" -> "siei"
+    | "weak-adaptive" -> "wac"
+    | s -> s
+  in
+  Format.printf "%-28s" "history";
+  List.iter
+    (fun (c : Spec.checker) -> Format.printf "%-6s" (short c.Spec.name))
+    Checkers.all;
+  Format.printf "@.";
+  List.iter
+    (fun (a : Anomalies.anomaly) ->
+      Format.printf "%-28s" a.Anomalies.name;
+      List.iter
+        (fun (c : Spec.checker) ->
+          Format.printf "%-6s"
+            (match c.Spec.check a.Anomalies.history with
+            | Spec.Sat -> "yes"
+            | Spec.Unsat -> "no"
+            | Spec.Out_of_budget -> "?"))
+        Checkers.all;
+      Format.printf "@.")
+    Anomalies.catalogue
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let sections =
+    [
+      ("fig1", fun () -> fig12 `Fig1);
+      ("fig2", fun () -> fig12 `Fig2);
+      ("fig3", fun () -> fig34 `Fig3);
+      ("fig4", fun () -> fig34 `Fig4);
+      ("fig5", fun () -> fig56 `Fig5);
+      ("fig6", fun () -> fig56 `Fig6);
+      ("triangle", triangle);
+      ("scaling", scaling);
+      ("checkers", checkers);
+      ("hierarchy", hierarchy);
+      ("progress", progress);
+      ("liveness", liveness);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      if section_enabled name then begin
+        banner name;
+        f ()
+      end)
+    sections

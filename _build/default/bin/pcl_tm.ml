@@ -1,0 +1,419 @@
+(* pcl_tm — the command-line front end of the workbench.
+
+     pcl_tm list                          available TMs, checkers, anomalies
+     pcl_tm verdict [-t TM]               triangle verdict(s)
+     pcl_tm figures [-t TM]               full proof-construction report
+     pcl_tm anomalies                     anomaly x checker matrix
+     pcl_tm check -a ANOMALY [-c CHECKER] run checkers on a catalogue history
+     pcl_tm explore -t TM                 exhaustive interleavings of a small
+                                          conflicting workload, with the
+                                          strongest condition each satisfies
+*)
+
+open Core
+open Cmdliner
+
+let tm_arg =
+  let doc = "TM implementation (see `pcl_tm list')." in
+  Arg.(value & opt (some string) None & info [ "t"; "tm" ] ~docv:"TM" ~doc)
+
+let impls_of = function
+  | None -> Registry.all
+  | Some n -> (
+      match Registry.find n with
+      | Some i -> [ i ]
+      | None -> Fmt.failwith "unknown TM %S (try `pcl_tm list')" n)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "TM implementations:@.";
+    List.iter
+      (fun (module M : Tm_intf.S) ->
+        Format.printf "  %-12s %s@." M.name M.describe)
+      Registry.all;
+    Format.printf "@.Consistency checkers:@.";
+    List.iter
+      (fun (c : Spec.checker) -> Format.printf "  %s@." c.Spec.name)
+      Checkers.all;
+    Format.printf "@.Anomaly histories:@.";
+    List.iter
+      (fun (a : Anomalies.anomaly) ->
+        Format.printf "  %-28s %s@." a.Anomalies.name a.Anomalies.description)
+      Anomalies.catalogue
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List TMs, checkers and anomaly histories.")
+    Term.(const run $ const ())
+
+let verdict_cmd =
+  let run tm =
+    List.iter
+      (fun impl ->
+        let v = Pcl_verdict.assess impl in
+        Format.printf "%a@.@." Pcl_verdict.pp v)
+      (impls_of tm)
+  in
+  Cmd.v
+    (Cmd.info "verdict"
+       ~doc:"Run the PCL harness and report the P/C/L triangle verdict.")
+    Term.(const run $ tm_arg)
+
+let figures_cmd =
+  let run tm =
+    List.iter
+      (fun impl ->
+        let report = Pcl_claims.analyse impl in
+        Format.printf "%a@." Pcl_figures.pp_report report)
+      (impls_of tm)
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Re-enact the proof construction (Figures 1-6, Claims 1-5) against \
+          a TM.")
+    Term.(const run $ tm_arg)
+
+let anomalies_cmd =
+  let run () =
+    List.iter
+      (fun (a : Anomalies.anomaly) ->
+        Format.printf "%-28s satisfies: %s@." a.Anomalies.name
+          (String.concat ", " (Checkers.satisfied a.Anomalies.history)))
+      Anomalies.catalogue
+  in
+  Cmd.v
+    (Cmd.info "anomalies"
+       ~doc:"Evaluate every checker on the anomaly catalogue.")
+    Term.(const run $ const ())
+
+let checker_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "checker" ] ~docv:"CHECKER"
+        ~doc:"Checker name (default: all).")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "When a checker answers sat, print the witness serialization it \
+           found (supported for serializability, snapshot-isolation, \
+           processor-consistency, pram and weak-adaptive).")
+
+let run_checkers history checker explain =
+  let checkers =
+    match checker with
+    | None -> Checkers.all
+    | Some n -> [ Checkers.find_exn n ]
+  in
+  List.iter
+    (fun (c : Spec.checker) ->
+      let v = c.Spec.check history in
+      Format.printf "  %-26s %a@." c.Spec.name Spec.pp_verdict v;
+      if explain && Spec.sat v then
+        match Checkers.explain c.Spec.name history with
+        | Some w -> Format.printf "%a@." Witness.pp w
+        | None -> ())
+    checkers
+
+let check_cmd =
+  let anomaly =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "a"; "anomaly" ] ~docv:"NAME" ~doc:"Catalogue history name.")
+  in
+  let run anomaly checker explain =
+    let a =
+      try Anomalies.find anomaly
+      with Not_found -> Fmt.failwith "unknown anomaly %S" anomaly
+    in
+    Format.printf "%s: %s@.@.%a@.@." a.Anomalies.name a.Anomalies.description
+      History.pp a.Anomalies.history;
+    run_checkers a.Anomalies.history checker explain
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run consistency checkers on a catalogue history.")
+    Term.(const run $ anomaly $ checker_arg $ explain_arg)
+
+let check_file_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "History in the wire format: invocations +b1\\@2 +r1(x) \
+             +w1(x)=5 +c1 +a1; responses -ok1 -v1=0 -C1 -A1; '#' comments.")
+  in
+  let run file checker explain =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Wire.parse text with
+    | Error msg -> Fmt.failwith "parse error: %s" msg
+    | Ok history -> (
+        match History.well_formed history with
+        | Error msg -> Fmt.failwith "ill-formed history: %s" msg
+        | Ok () ->
+            Format.printf "%a@.@." History.pp history;
+            run_checkers history checker explain)
+  in
+  Cmd.v
+    (Cmd.info "check-file"
+       ~doc:"Run consistency checkers on a history from a file.")
+    Term.(const run $ file $ checker_arg $ explain_arg)
+
+let liveness_cmd =
+  let run tm =
+    List.iter
+      (fun impl ->
+        let (module M : Tm_intf.S) = impl in
+        let r = Liveness_class.classify impl in
+        Format.printf "%-12s %-18s %s@." M.name
+          (Liveness_class.cls_to_string r.Liveness_class.cls)
+          r.Liveness_class.evidence)
+      (impls_of tm)
+  in
+  Cmd.v
+    (Cmd.info "liveness"
+       ~doc:
+         "Classify each TM's liveness empirically (wait-free / lock-free / \
+          obstruction-free / blocking) with probe witnesses, including the \
+          adaptive commit-avoiding adversary that exhibits DSTM's \
+          mutual-abort livelock.")
+    Term.(const run $ tm_arg)
+
+let explore_cmd =
+  let run tm =
+    List.iter
+      (fun impl ->
+        let (module M : Tm_intf.S) = impl in
+        let x = Item.v "x" and y = Item.v "y" in
+        let specs =
+          [
+            { Static_txn.tid = Tid.v 1; pid = 1; reads = [ x ];
+              writes = [ (x, Value.int 1); (y, Value.int 1) ] };
+            { Static_txn.tid = Tid.v 2; pid = 2; reads = [ x; y ];
+              writes = [] };
+          ]
+        in
+        let outcomes = Hashtbl.create 4 in
+        let setup mem recorder =
+          let handle =
+            Txn_api.instantiate impl mem recorder
+              ~items:(Static_txn.items_of specs)
+          in
+          List.map
+            (fun s ->
+              (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+            specs
+        in
+        let profiles = Hashtbl.create 8 in
+        let stats =
+          Explorer.explore ~max_nodes:300_000 ~max_steps:80 setup
+            ~pids:[ 1; 2 ]
+            ~on_execution:(fun r ->
+              let strongest =
+                match Checkers.satisfied r.Sim.history with
+                | s :: _ -> s
+                | [] -> "none"
+              in
+              Hashtbl.replace profiles strongest
+                (1
+                + Option.value ~default:0 (Hashtbl.find_opt profiles strongest)))
+        in
+        Format.printf
+          "%s: %d complete interleavings (%d nodes%s), strongest condition \
+           satisfied:@."
+          M.name stats.Explorer.executions stats.Explorer.nodes
+          (if stats.Explorer.truncated then ", truncated" else "");
+        Hashtbl.iter
+          (fun name n -> Format.printf "  %-26s %d executions@." name n)
+          profiles)
+      (impls_of tm)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Enumerate all interleavings of a writer/reader pair and classify \
+          each execution by the strongest condition it satisfies.")
+    Term.(const run $ tm_arg)
+
+let trace_cmd =
+  let schedule_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCHEDULE"
+          ~doc:
+            "Comma-separated schedule over the paper's T1..T7, e.g. \
+             'p1:7,p2:7,p1:1,p3:*,p4:*,p2:1,p7:*' — 'pN:K' runs K steps of \
+             process N, 'pN:*' runs it until its transaction finishes.")
+  in
+  let show_log =
+    Arg.(value & flag & info [ "log" ] ~doc:"Also dump the step-level access log.")
+  in
+  let parse_schedule s =
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match String.split_on_char ':' (String.trim tok) with
+           | [ p; spec ] when String.length p > 1 && p.[0] = 'p' -> (
+               let pid =
+                 match int_of_string_opt (String.sub p 1 (String.length p - 1)) with
+                 | Some pid -> pid
+                 | None -> Fmt.failwith "bad process in %S" tok
+               in
+               match spec with
+               | "*" -> Schedule.Until_done pid
+               | n -> (
+                   match int_of_string_opt n with
+                   | Some n -> Schedule.Steps (pid, n)
+                   | None -> Fmt.failwith "bad step count in %S" tok))
+           | _ -> Fmt.failwith "bad schedule token %S (want pN:K or pN:*)" tok)
+  in
+  let run tm schedule show_log =
+    let impl =
+      match tm with
+      | Some n -> Registry.find_exn n
+      | None -> Registry.find_exn "candidate"
+    in
+    let (module M : Tm_intf.S) = impl in
+    let atoms = parse_schedule schedule in
+    let r = Pcl_harness.run impl atoms in
+    Format.printf "# %s under %a@." M.name Schedule.pp atoms;
+    Format.printf "%s@." (Wire.print r.Pcl_harness.sim.Sim.history);
+    Format.printf "@.satisfies: %s@."
+      (String.concat ", " (Checkers.satisfied r.Pcl_harness.sim.Sim.history));
+    if show_log then begin
+      let name_of oid = Memory.name_of r.Pcl_harness.sim.Sim.mem oid in
+      List.iter
+        (fun e ->
+          Format.printf "%a@." (Access_log.pp_entry ~name_of) e)
+        r.Pcl_harness.sim.Sim.log
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the paper's seven transactions under an explicit adversarial \
+          schedule, print the resulting history in the wire format, and \
+          report which conditions it satisfies.")
+    Term.(const run $ tm_arg $ schedule_arg $ show_log)
+
+let fuzz_cmd =
+  let iters =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Random executions to try.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run tm iters seed =
+    List.iter
+      (fun impl ->
+        let (module M : Tm_intf.S) = impl in
+        let st = Random.State.make [| seed |] in
+        let items = [ Item.v "x"; Item.v "y"; Item.v "z" ] in
+        let wf_bad = ref 0
+        and of_bad = ref 0
+        and dap_bad = ref 0
+        and cons_bad = ref 0
+        and stalled = ref 0 in
+        let target_checker =
+          (* weakest claim each TM makes about committed transactions *)
+          match M.name with
+          | "pram-local" -> Checkers.find_exn "pram"
+          | "si-clock" -> Checkers.find_exn "snapshot-isolation"
+          | "candidate" | "llsc-candidate" -> Checkers.find_exn "weak-adaptive"
+          | _ -> Checkers.find_exn "strict-serializability"
+        in
+        for _ = 1 to iters do
+          (* random static transactions over three items *)
+          let spec tid pid =
+            let pick () = List.nth items (Random.State.int st 3) in
+            {
+              Static_txn.tid = Tid.v tid;
+              pid;
+              reads = List.init (1 + Random.State.int st 2) (fun _ -> pick ());
+              writes =
+                List.init (1 + Random.State.int st 2) (fun i ->
+                    (pick (), Value.int ((100 * tid) + i)));
+            }
+          in
+          let specs = List.init 3 (fun i -> spec (i + 1) (i + 1)) in
+          let schedule =
+            let atoms = ref [] in
+            for _ = 1 to 8 do
+              atoms :=
+                Schedule.Steps
+                  (1 + Random.State.int st 3, 1 + Random.State.int st 5)
+                :: !atoms
+            done;
+            List.rev !atoms
+            @ [ Schedule.Until_done 1; Schedule.Until_done 2;
+                Schedule.Until_done 3 ]
+          in
+          let outcomes = Hashtbl.create 8 in
+          let setup mem recorder =
+            let handle =
+              Txn_api.instantiate impl mem recorder
+                ~items:(Static_txn.items_of specs)
+            in
+            List.map
+              (fun s ->
+                (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+              specs
+          in
+          let r = Sim.replay ~budget:3_000 setup schedule in
+          (match r.Sim.report.Schedule.stop with
+          | Schedule.Completed -> ()
+          | _ -> incr stalled);
+          (match History.well_formed r.Sim.history with
+          | Ok () -> ()
+          | Error _ -> incr wf_bad);
+          if
+            M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
+            && not (Obstruction_freedom.holds r.Sim.history r.Sim.log)
+          then incr of_bad;
+          if
+            List.mem M.name [ "tl-lock"; "pram-local"; "candidate" ]
+            && not
+                 (Strict_dap.holds
+                    ~data_sets:(Static_txn.data_sets specs)
+                    r.Sim.log)
+          then incr dap_bad;
+          match target_checker.Spec.check ~budget:400_000 r.Sim.history with
+          | Spec.Unsat -> incr cons_bad
+          | Spec.Sat | Spec.Out_of_budget -> ()
+        done;
+        Format.printf
+          "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
+           violations %d, consistency-target violations %d, stalled %d@."
+          M.name iters !wf_bad !of_bad !dap_bad !cons_bad !stalled)
+      (impls_of tm)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz a TM with random transactions and schedules, using the \
+          detectors and checkers as oracles; every TM must uphold its own \
+          advertised contract (the candidate's is weak-adaptive, which it \
+          may violate — that is the theorem).")
+    Term.(const run $ tm_arg $ iters $ seed)
+
+let () =
+  let info =
+    Cmd.info "pcl_tm" ~version:"1.0"
+      ~doc:"The PCL-theorem transactional-memory workbench."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
+            check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd ]))

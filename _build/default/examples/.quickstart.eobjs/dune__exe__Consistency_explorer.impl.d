@@ -1,0 +1,1 @@
+examples/consistency_explorer.ml: Anomalies Checkers Core Format Hierarchy List Spec

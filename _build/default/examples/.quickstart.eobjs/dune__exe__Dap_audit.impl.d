@@ -1,0 +1,1 @@
+examples/dap_audit.ml: Conflict Contention Core Format Graph_dap Hashtbl Item List Memory Registry Schedule Sim Static_txn Strict_dap String Tid Tm_intf Txn_api Value

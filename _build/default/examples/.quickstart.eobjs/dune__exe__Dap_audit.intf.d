@@ -1,0 +1,1 @@
+examples/dap_audit.mli:

@@ -1,0 +1,1 @@
+examples/pcl_demo.ml: Array Core Format List Pcl_claims Pcl_figures Pcl_verdict Registry Sys

@@ -1,0 +1,1 @@
+examples/pcl_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomically Checkers Core Dstm_tm Fmt Format Hashtbl History Item List Schedule Sim Static_txn String Tid Tm_intf Txn_api Value

@@ -1,0 +1,1 @@
+examples/universal_demo.ml: Contention Core Fmt Format Hashtbl List Option Recorder Schedule Seq_object Sim String Tid Universal Value

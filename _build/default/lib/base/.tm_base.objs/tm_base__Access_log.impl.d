@@ -1,0 +1,1 @@
+lib/base/access_log.pp.ml: Fmt List Oid Option Primitive Tid Value

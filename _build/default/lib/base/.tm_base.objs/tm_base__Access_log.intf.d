@@ -1,0 +1,1 @@
+lib/base/access_log.pp.mli: Format Oid Primitive Tid Value

@@ -1,0 +1,1 @@
+lib/base/base_object.pp.mli: Primitive Value

@@ -1,0 +1,1 @@
+lib/base/item.pp.ml: Map Ppx_deriving_runtime Set String

@@ -1,0 +1,1 @@
+lib/base/item.pp.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/base/memory.pp.ml: Access_log Array Base_object Fmt Hashtbl Oid Primitive Printf Value

@@ -1,0 +1,1 @@
+lib/base/memory.pp.mli: Access_log Format Oid Primitive Tid Value

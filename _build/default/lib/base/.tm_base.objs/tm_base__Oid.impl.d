@@ -1,0 +1,1 @@
+lib/base/oid.pp.ml: Int Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/base/oid.pp.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/base/primitive.pp.ml: Fmt Ppx_deriving_runtime Value

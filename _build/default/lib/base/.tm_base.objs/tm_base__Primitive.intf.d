@@ -1,0 +1,1 @@
+lib/base/primitive.pp.mli: Format Value

@@ -1,0 +1,1 @@
+lib/base/tid.pp.ml: Fmt Int Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/base/tid.pp.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/base/value.pp.ml: Fmt List Ppx_deriving_runtime Printf

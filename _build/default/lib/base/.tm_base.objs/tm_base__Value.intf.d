@@ -1,0 +1,1 @@
+lib/base/value.pp.mli: Format

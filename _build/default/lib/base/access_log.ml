@@ -1,0 +1,56 @@
+(* The access log: every step of an execution, in order.  This is the
+   executable counterpart of the paper's "execution alpha is a sequence of
+   steps"; contention and disjoint-access-parallelism checkers run on it. *)
+
+type entry = {
+  index : int;  (** global step number, 0-based *)
+  pid : int;  (** process that took the step *)
+  tid : Tid.t option;
+      (** transaction the step is attributed to, if any (steps of the TM's
+          begin/read/write/commit routines carry the transaction id) *)
+  oid : Oid.t;  (** base object accessed *)
+  prim : Primitive.t;  (** primitive applied *)
+  response : Value.t;  (** response returned by the atomic step *)
+  changed : bool;  (** whether the object state actually changed *)
+}
+
+type t = { mutable entries_rev : entry list; mutable count : int }
+
+let create () = { entries_rev = []; count = 0 }
+
+let record t ~pid ~tid ~oid ~prim ~response ~changed =
+  let entry =
+    { index = t.count; pid; tid; oid; prim; response; changed }
+  in
+  t.entries_rev <- entry :: t.entries_rev;
+  t.count <- t.count + 1;
+  entry
+
+let length t = t.count
+let entries t = List.rev t.entries_rev
+
+(** Steps attributed to transaction [tid] — the paper's [alpha|T]. *)
+let by_txn t tid =
+  List.filter (fun e -> e.tid = Some tid) (entries t)
+
+let by_pid t pid = List.filter (fun e -> e.pid = pid) (entries t)
+
+(** Base objects accessed by transaction [tid], with a flag telling whether
+    the transaction applied at least one non-trivial primitive to them. *)
+let objects_of_txn t tid =
+  List.fold_left
+    (fun acc e ->
+      match e.tid with
+      | Some tid' when Tid.equal tid' tid ->
+          let prev = Option.value ~default:false (Oid.Map.find_opt e.oid acc) in
+          Oid.Map.add e.oid (prev || Primitive.non_trivial e.prim) acc
+      | _ -> acc)
+    Oid.Map.empty (entries t)
+
+let pp_entry ~name_of ppf e =
+  let txn =
+    match e.tid with None -> "" | Some tid -> Fmt.str " %s" (Tid.name tid)
+  in
+  Fmt.pf ppf "#%d p%d%s %s.%a -> %a%s" e.index e.pid txn (name_of e.oid)
+    Primitive.pp_compact e.prim Value.pp_compact e.response
+    (if e.changed then " !" else "")

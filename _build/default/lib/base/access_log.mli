@@ -1,0 +1,47 @@
+(** The access log: every step of an execution, in order — the executable
+    counterpart of the paper's "an execution alpha is a sequence of
+    steps".  Contention and disjoint-access-parallelism checkers run on
+    it. *)
+
+type entry = {
+  index : int;  (** global step number, 0-based *)
+  pid : int;  (** process that took the step *)
+  tid : Tid.t option;
+      (** transaction the step is attributed to, if any: steps taken inside
+          the TM's begin/read/write/commit routines carry the id *)
+  oid : Oid.t;  (** base object accessed *)
+  prim : Primitive.t;  (** primitive applied *)
+  response : Value.t;  (** response returned by the atomic step *)
+  changed : bool;  (** whether the object state actually changed *)
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  pid:int ->
+  tid:Tid.t option ->
+  oid:Oid.t ->
+  prim:Primitive.t ->
+  response:Value.t ->
+  changed:bool ->
+  entry
+
+val length : t -> int
+
+val entries : t -> entry list
+(** In step order. *)
+
+val by_txn : t -> Tid.t -> entry list
+(** Steps attributed to a transaction — the paper's alpha|T. *)
+
+val by_pid : t -> int -> entry list
+
+val objects_of_txn : t -> Tid.t -> bool Oid.Map.t
+(** Base objects accessed by a transaction, mapped to whether it applied
+    at least one non-trivial primitive to them. *)
+
+val pp_entry :
+  name_of:(Oid.t -> string) -> Format.formatter -> entry -> unit

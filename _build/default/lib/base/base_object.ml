@@ -1,0 +1,69 @@
+(* A base object: a value cell plus lock/reservation words so that the same
+   object type can serve as register, CAS word, fetch&add counter, lock, or
+   LL/SC cell.  [apply] is the atomic step semantics. *)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  mutable value : Value.t;
+  mutable lock_holder : int option;
+  mutable reservations : Int_set.t;
+      (* pids holding a valid load-linked reservation *)
+}
+
+let create value = { value; lock_holder = None; reservations = Int_set.empty }
+
+let value t = t.value
+let lock_holder t = t.lock_holder
+let locked t = t.lock_holder <> None
+
+(** [apply t prim] atomically applies [prim]; returns [(response, changed)]
+    where [changed] reports whether any component of the state mutated. *)
+let apply t (prim : Primitive.t) : Value.t * bool =
+  match prim with
+  | Read -> (t.value, false)
+  | Write v ->
+      let changed = not (Value.equal t.value v) in
+      t.value <- v;
+      (* any write invalidates outstanding LL reservations *)
+      let changed = changed || not (Int_set.is_empty t.reservations) in
+      t.reservations <- Int_set.empty;
+      (Value.unit, changed)
+  | Cas { expected; desired } ->
+      if Value.equal t.value expected then begin
+        let changed =
+          (not (Value.equal t.value desired))
+          || not (Int_set.is_empty t.reservations)
+        in
+        t.value <- desired;
+        t.reservations <- Int_set.empty;
+        (Value.bool true, changed)
+      end
+      else (Value.bool false, false)
+  | Fetch_add n ->
+      let old = Value.to_int_exn t.value in
+      t.value <- Value.int (old + n);
+      t.reservations <- Int_set.empty;
+      (Value.int old, n <> 0)
+  | Try_lock pid -> (
+      match t.lock_holder with
+      | None ->
+          t.lock_holder <- Some pid;
+          (Value.bool true, true)
+      | Some holder -> (Value.bool (holder = pid), false))
+  | Unlock pid -> (
+      match t.lock_holder with
+      | Some holder when holder = pid ->
+          t.lock_holder <- None;
+          (Value.unit, true)
+      | Some _ | None -> (Value.unit, false))
+  | Load_linked pid ->
+      t.reservations <- Int_set.add pid t.reservations;
+      (t.value, false)
+  | Store_conditional (pid, v) ->
+      if Int_set.mem pid t.reservations then begin
+        t.value <- v;
+        t.reservations <- Int_set.empty;
+        (Value.bool true, true)
+      end
+      else (Value.bool false, false)

@@ -1,0 +1,18 @@
+(** A base object: a value cell plus a lock word and LL/SC reservations,
+    so one object type serves as register, CAS word, fetch&add counter,
+    lock, or LL/SC cell.  {!apply} is the atomic step semantics; real code
+    goes through {!Memory.apply}, which also logs the step. *)
+
+type t
+
+val create : Value.t -> t
+
+val value : t -> Value.t
+val lock_holder : t -> int option
+val locked : t -> bool
+
+val apply : t -> Primitive.t -> Value.t * bool
+(** [apply t prim] atomically applies [prim] and returns
+    [(response, changed)], where [changed] reports whether any component
+    of the state mutated.  Writes, successful CASes, fetch&adds and
+    successful SCs invalidate outstanding LL reservations. *)

@@ -1,0 +1,14 @@
+(* Data items — the high-level pieces of data accessed by transactions,
+   as opposed to the base objects the TM uses to represent them. *)
+
+type t = string [@@deriving show { with_path = false }, eq, ord]
+
+let v (s : string) : t =
+  if s = "" then invalid_arg "Item.v: empty name" else s
+
+let name (t : t) : string = t
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list l = Set.of_list l

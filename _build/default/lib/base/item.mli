@@ -1,0 +1,21 @@
+(** Data items — the high-level pieces of data accessed by transactions
+    (the paper's x, y, b1, e1_3, ...), as opposed to the base objects a TM
+    uses to represent them. *)
+
+type t = string
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val v : string -> t
+(** [v name] names a data item.
+    @raise Invalid_argument on the empty string. *)
+
+val name : t -> string
+
+module Set : Set.S with type elt = string
+module Map : Map.S with type key = string
+
+val set_of_list : t list -> Set.t

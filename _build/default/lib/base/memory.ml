@@ -1,0 +1,89 @@
+(* Shared memory: the collection of base objects of the simulated
+   asynchronous system, plus the access log.
+
+   [apply] is the only way to touch an object's state and corresponds to one
+   atomic step of the paper's model.  Allocation ([alloc]) is not a step:
+   TM implementations pre-allocate their shared representation when they are
+   created (or allocate deterministically at begin time, e.g. per-transaction
+   status words), which models the objects simply existing in the initial
+   configuration. *)
+
+type t = {
+  mutable objects : Base_object.t array;
+  mutable n_objects : int;
+  mutable names : string array;
+  by_name : (string, Oid.t) Hashtbl.t;
+  log : Access_log.t;
+}
+
+let create () =
+  {
+    objects = Array.make 16 (Base_object.create Value.unit);
+    n_objects = 0;
+    names = Array.make 16 "";
+    by_name = Hashtbl.create 64;
+    log = Access_log.create ();
+  }
+
+let grow t =
+  let cap = Array.length t.objects in
+  if t.n_objects = cap then begin
+    let objects = Array.make (2 * cap) (Base_object.create Value.unit) in
+    Array.blit t.objects 0 objects 0 cap;
+    t.objects <- objects;
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 cap;
+    t.names <- names
+  end
+
+(** Allocate a fresh base object with initial value [init].  [name] is used
+    for logs, figures and [find]; it must be unique. *)
+let alloc t ~name init : Oid.t =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Memory.alloc: duplicate name %S" name);
+  grow t;
+  let oid = t.n_objects in
+  t.objects.(oid) <- Base_object.create init;
+  t.names.(oid) <- name;
+  t.n_objects <- oid + 1;
+  Hashtbl.add t.by_name name oid;
+  oid
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with
+  | Some oid -> oid
+  | None -> invalid_arg (Printf.sprintf "Memory.find_exn: no object %S" name)
+
+let name_of t (oid : Oid.t) =
+  if oid < 0 || oid >= t.n_objects then
+    invalid_arg "Memory.name_of: bad oid"
+  else t.names.(oid)
+
+let n_objects t = t.n_objects
+
+(** One atomic step: apply [prim] to object [oid] on behalf of process
+    [pid] (attributed to transaction [tid] if given), log it, and return the
+    response. *)
+let apply t ~pid ?tid (oid : Oid.t) (prim : Primitive.t) : Value.t =
+  if oid < 0 || oid >= t.n_objects then invalid_arg "Memory.apply: bad oid";
+  let response, changed = Base_object.apply t.objects.(oid) prim in
+  let (_ : Access_log.entry) =
+    Access_log.record t.log ~pid ~tid ~oid ~prim ~response ~changed
+  in
+  response
+
+(** Debugging read that is not a step and is not logged. *)
+let peek t (oid : Oid.t) : Value.t =
+  if oid < 0 || oid >= t.n_objects then invalid_arg "Memory.peek: bad oid";
+  Base_object.value t.objects.(oid)
+
+let log t = t.log
+let step_count t = Access_log.length t.log
+
+let pp_log ppf t =
+  let name_of oid = name_of t oid in
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any "@\n") (Access_log.pp_entry ~name_of))
+    (Access_log.entries t.log)

@@ -1,0 +1,37 @@
+(** Shared memory: the base objects of the simulated asynchronous system,
+    plus the access log.
+
+    {!apply} is the only way to touch object state and corresponds to one
+    atomic step of the paper's model.  Allocation is {e not} a step: TM
+    implementations pre-allocate their shared representation at creation
+    time (or allocate deterministically at begin time, e.g. per-transaction
+    status words), modelling objects that simply exist in the initial
+    configuration. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> name:string -> Value.t -> Oid.t
+(** Allocate a fresh base object with the given initial value.  [name]
+    appears in logs and figures and must be unique.
+    @raise Invalid_argument on a duplicate name. *)
+
+val find : t -> string -> Oid.t option
+val find_exn : t -> string -> Oid.t
+
+val name_of : t -> Oid.t -> string
+(** @raise Invalid_argument on an unknown oid. *)
+
+val n_objects : t -> int
+
+val apply : t -> pid:int -> ?tid:Tid.t -> Oid.t -> Primitive.t -> Value.t
+(** One atomic step: apply the primitive on behalf of process [pid]
+    (attributed to [tid] if given), log it, return the response. *)
+
+val peek : t -> Oid.t -> Value.t
+(** Debugging read — not a step, not logged. *)
+
+val log : t -> Access_log.t
+val step_count : t -> int
+val pp_log : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(* Base-object identifiers.  Allocation is owned by {!Memory}; identifiers
+   are dense non-negative integers so logs index arrays directly. *)
+
+type t = int [@@deriving show { with_path = false }, eq, ord]
+
+let to_int (t : t) : int = t
+let of_int (i : int) : t =
+  if i < 0 then invalid_arg "Oid.of_int: negative" else i
+
+let hash (t : t) = t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,21 @@
+(** Base-object identifiers.
+
+    Identifiers are dense non-negative integers allocated by {!Memory}, so
+    access logs can index arrays directly and figures can print them
+    stably across replays (allocation is deterministic). *)
+
+type t = int
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val hash : t -> int
+
+module Set : Set.S with type elt = int
+module Map : Map.S with type key = int

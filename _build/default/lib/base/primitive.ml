@@ -1,0 +1,48 @@
+(* Atomic primitives on base objects.
+
+   The paper's model: "A base object provides atomic primitives to access or
+   modify its state.  [...] A primitive that does not change the state of an
+   object is called trivial (otherwise it is called non-trivial)."
+
+   Triviality is classified by primitive *kind* (the standard convention in
+   the disjoint-access-parallelism literature): a CAS is non-trivial even
+   when it fails, because an adversary cannot tell in advance whether it
+   will update the state.  Access-log entries additionally record whether
+   the state actually changed, so checkers that prefer the effect-based
+   reading can use that instead. *)
+
+type t =
+  | Read
+  | Write of Value.t
+  | Cas of { expected : Value.t; desired : Value.t }
+      (** Compare-and-swap; responds [VBool true] on success. *)
+  | Fetch_add of int  (** Requires a [VInt] state; responds the old value. *)
+  | Try_lock of int
+      (** Test-and-set style lock acquisition by process [pid]; responds
+          [VBool true] iff the lock is now held by [pid]. *)
+  | Unlock of int  (** Release by process [pid]; no-op if not the holder. *)
+  | Load_linked of int  (** LL by process [pid]; responds the value. *)
+  | Store_conditional of int * Value.t
+      (** SC by process [pid]; responds [VBool true] on success. *)
+[@@deriving show { with_path = false }, eq]
+
+(** [trivial p] holds iff [p] can never update the object state. *)
+let trivial = function
+  | Read | Load_linked _ -> true
+  | Write _ | Cas _ | Fetch_add _ | Try_lock _ | Unlock _
+  | Store_conditional _ ->
+      false
+
+let non_trivial p = not (trivial p)
+
+let pp_compact ppf = function
+  | Read -> Fmt.string ppf "rd"
+  | Write v -> Fmt.pf ppf "wr(%a)" Value.pp_compact v
+  | Cas { expected; desired } ->
+      Fmt.pf ppf "cas(%a->%a)" Value.pp_compact expected Value.pp_compact
+        desired
+  | Fetch_add n -> Fmt.pf ppf "faa(%d)" n
+  | Try_lock p -> Fmt.pf ppf "trylock(p%d)" p
+  | Unlock p -> Fmt.pf ppf "unlock(p%d)" p
+  | Load_linked p -> Fmt.pf ppf "ll(p%d)" p
+  | Store_conditional (p, v) -> Fmt.pf ppf "sc(p%d,%a)" p Value.pp_compact v

@@ -1,0 +1,38 @@
+(** Atomic primitives on base objects (Section 3 of the paper).
+
+    "A base object provides atomic primitives to access or modify its
+    state.  A primitive that does not change the state of an object is
+    called trivial (otherwise it is called non-trivial)."
+
+    Triviality is classified by primitive {e kind} — the convention of the
+    disjoint-access-parallelism literature: a CAS is non-trivial even when
+    it fails, because the adversary cannot know in advance whether it will
+    update the state.  {!Tm_base.Access_log} entries additionally record
+    whether the state actually changed, for checkers that prefer the
+    effect-based reading. *)
+
+type t =
+  | Read
+  | Write of Value.t
+  | Cas of { expected : Value.t; desired : Value.t }
+      (** Compare-and-swap; responds [VBool true] on success. *)
+  | Fetch_add of int
+      (** Requires a [VInt] state; responds with the old value. *)
+  | Try_lock of int
+      (** Acquisition by process [pid]; responds [VBool true] iff the lock
+          is now (or was already) held by [pid]. *)
+  | Unlock of int  (** Release by process [pid]; no-op if not the holder. *)
+  | Load_linked of int  (** LL by process [pid]; responds with the value. *)
+  | Store_conditional of int * Value.t
+      (** SC by process [pid]; responds [VBool true] on success. *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+val trivial : t -> bool
+(** [trivial p] holds iff [p] can never update the object state. *)
+
+val non_trivial : t -> bool
+
+val pp_compact : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/consistency/anomalies.ml: Build History List Tm_trace

@@ -1,0 +1,1 @@
+lib/consistency/anomalies.mli: History Tm_trace

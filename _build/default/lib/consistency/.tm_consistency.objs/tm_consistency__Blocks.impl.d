@@ -1,0 +1,1 @@
+lib/consistency/blocks.ml: Event Fmt Hashtbl History Item List Option Tid Tm_base Tm_trace Value

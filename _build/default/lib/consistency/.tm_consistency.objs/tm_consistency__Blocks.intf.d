@@ -1,0 +1,1 @@
+lib/consistency/blocks.mli: Format Hashtbl History Item Tid Tm_base Tm_trace Value

@@ -1,0 +1,1 @@
+lib/consistency/causal.ml: Array Blocks Checker_util Hashtbl History Item List Processor_consistency Spec Tid Tm_base Tm_trace Value Views

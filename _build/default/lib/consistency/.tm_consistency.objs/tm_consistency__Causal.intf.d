@@ -1,0 +1,1 @@
+lib/consistency/causal.mli: Blocks History Spec Tid Tm_base Tm_trace

@@ -1,0 +1,1 @@
+lib/consistency/checker_util.ml: Blocks History List Seq Spec Tid Tm_base Tm_trace

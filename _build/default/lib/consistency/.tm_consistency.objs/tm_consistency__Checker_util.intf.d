@@ -1,0 +1,1 @@
+lib/consistency/checker_util.mli: Blocks History Spec Tid Tm_base Tm_trace

@@ -1,0 +1,1 @@
+lib/consistency/checkers.mli: History Spec Tm_trace Witness

@@ -1,0 +1,1 @@
+lib/consistency/conflict_serializability.ml: Event Hashtbl History Item List Option Seq Spec Tid Tm_base Tm_trace

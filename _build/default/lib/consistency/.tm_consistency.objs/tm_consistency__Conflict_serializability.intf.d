@@ -1,0 +1,1 @@
+lib/consistency/conflict_serializability.mli: Hashtbl History Item Spec Tid Tm_base Tm_trace

@@ -1,0 +1,1 @@
+lib/consistency/hierarchy.ml: Checkers History List Spec Tm_trace

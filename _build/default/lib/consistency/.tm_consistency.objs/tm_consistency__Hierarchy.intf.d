@@ -1,0 +1,1 @@
+lib/consistency/hierarchy.mli: History Tm_trace

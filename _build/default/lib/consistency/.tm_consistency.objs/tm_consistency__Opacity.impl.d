@@ -1,0 +1,1 @@
+lib/consistency/opacity.ml: Array Blocks Checker_util Event Hashtbl History List Placement Seq Spec Tid Tm_base Tm_trace Value

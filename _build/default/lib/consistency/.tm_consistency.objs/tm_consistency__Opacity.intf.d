@@ -1,0 +1,1 @@
+lib/consistency/opacity.mli: History Seq Spec Tm_trace

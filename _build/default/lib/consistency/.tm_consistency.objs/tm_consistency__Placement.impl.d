@@ -1,0 +1,1 @@
+lib/consistency/placement.ml: Array Blocks Item List Spec Tid Tm_base Value

@@ -1,0 +1,1 @@
+lib/consistency/placement.mli: Blocks Item Spec Tid Tm_base Value

@@ -1,0 +1,1 @@
+lib/consistency/pram.ml: Blocks Checker_util Hashtbl History Processor_consistency Spec Tm_trace Views

@@ -1,0 +1,1 @@
+lib/consistency/pram.mli: History Spec Tm_trace Witness

@@ -1,0 +1,1 @@
+lib/consistency/processor_consistency.mli: Blocks History Spec Tid Tm_base Tm_trace Views Witness

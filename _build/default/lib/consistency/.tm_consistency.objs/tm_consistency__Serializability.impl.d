@@ -1,0 +1,1 @@
+lib/consistency/serializability.ml: Array Blocks Checker_util Hashtbl History List Placement Seq Spec Tid Tm_base Tm_trace Value Witness

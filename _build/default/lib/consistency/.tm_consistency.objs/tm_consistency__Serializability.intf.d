@@ -1,0 +1,1 @@
+lib/consistency/serializability.mli: History Spec Tm_trace Witness

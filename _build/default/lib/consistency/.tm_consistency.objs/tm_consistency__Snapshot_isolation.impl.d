@@ -1,0 +1,1 @@
+lib/consistency/snapshot_isolation.ml: Array Blocks Checker_util Hashtbl History List Option Placement Seq Spec Tid Tm_base Tm_trace Value Witness

@@ -1,0 +1,1 @@
+lib/consistency/snapshot_isolation.mli: Blocks History Placement Spec Tid Tm_base Tm_trace Witness

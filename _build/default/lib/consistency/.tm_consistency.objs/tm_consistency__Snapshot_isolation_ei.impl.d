@@ -1,0 +1,1 @@
+lib/consistency/snapshot_isolation_ei.ml: Array Blocks Checker_util Hashtbl History List Placement Spec Tid Tm_base Tm_trace Value

@@ -1,0 +1,1 @@
+lib/consistency/snapshot_isolation_ei.mli: History Spec Tm_trace

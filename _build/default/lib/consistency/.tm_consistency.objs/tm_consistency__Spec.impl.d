@@ -1,0 +1,1 @@
+lib/consistency/spec.ml: Array Fmt History List Seq Tid Tm_base Tm_trace

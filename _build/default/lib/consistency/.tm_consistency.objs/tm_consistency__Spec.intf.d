@@ -1,0 +1,1 @@
+lib/consistency/spec.mli: Format History Seq Tid Tm_base Tm_trace

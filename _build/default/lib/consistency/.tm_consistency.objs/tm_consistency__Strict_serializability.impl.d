@@ -1,0 +1,1 @@
+lib/consistency/strict_serializability.ml: Array Blocks Checker_util Hashtbl History List Placement Spec Tid Tm_base Tm_trace Value

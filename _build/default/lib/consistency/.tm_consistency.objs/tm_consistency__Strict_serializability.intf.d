@@ -1,0 +1,1 @@
+lib/consistency/strict_serializability.mli: History Spec Tm_trace

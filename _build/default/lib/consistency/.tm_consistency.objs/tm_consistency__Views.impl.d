@@ -1,0 +1,1 @@
+lib/consistency/views.ml: Blocks Hashtbl Item List Map Placement Spec Tid Tm_base

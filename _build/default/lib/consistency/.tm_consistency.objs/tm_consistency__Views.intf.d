@@ -1,0 +1,1 @@
+lib/consistency/views.mli: Blocks Placement Spec Tid Tm_base

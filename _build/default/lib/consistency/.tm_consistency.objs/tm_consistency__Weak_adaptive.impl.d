@@ -1,0 +1,1 @@
+lib/consistency/weak_adaptive.ml: Array Blocks Checker_util Hashtbl History List Option Placement Seq Spec Tid Tm_base Tm_trace Value Views Witness

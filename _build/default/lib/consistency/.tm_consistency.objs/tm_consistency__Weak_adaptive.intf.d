@@ -1,0 +1,1 @@
+lib/consistency/weak_adaptive.mli: Blocks History Seq Spec Tid Tm_base Tm_trace Witness

@@ -1,0 +1,1 @@
+lib/consistency/witness.ml: Blocks Fmt Hashtbl History Item List String Tid Tm_base Tm_trace Value

@@ -1,0 +1,1 @@
+lib/consistency/witness.mli: Blocks Format History Tid Tm_base Tm_trace

@@ -1,0 +1,301 @@
+(* A catalogue of classic concurrency anomalies as concrete histories,
+   with the expected verdict of every checker.  Together they separate all
+   the conditions on the paper's lattice; the table they induce is the
+   hierarchy experiment (T-D in DESIGN.md). *)
+
+open Tm_trace
+open Build
+
+type anomaly = {
+  name : string;
+  description : string;
+  history : History.t;
+  expected : (string * bool) list;
+      (** checker name -> should it be satisfied? *)
+}
+
+let all_sat = [
+  ("opacity(final-state)", true);
+  ("strict-serializability", true);
+  ("serializability", true);
+  ("causal-serializability", true);
+  ("processor-consistency", true);
+  ("pram", true);
+  ("snapshot-isolation", true);
+  ("snapshot-isolation(ei)", true);
+  ("weak-adaptive", true);
+]
+
+let override base changes =
+  List.map
+    (fun (name, v) ->
+      match List.assoc_opt name changes with
+      | Some v' -> (name, v')
+      | None -> (name, v))
+    base
+
+let catalogue : anomaly list =
+  [
+    {
+      name = "serial-baseline";
+      description =
+        "two sequential transactions, writer then reader: satisfies \
+         everything";
+      history = history [ B (1, 1); W (1, "x", 1); C 1;
+                          B (2, 2); R (2, "x", 1); C 2 ];
+      expected = all_sat;
+    };
+    {
+      name = "lost-update";
+      description =
+        "two concurrent read-modify-writes both read the initial value; \
+         not serializable, but allowed by (weak) snapshot isolation since \
+         the paper drops the first-committer-wins rule";
+      history =
+        history
+          [ B (1, 1); B (2, 2);
+            R (1, "x", 0); R (2, "x", 0);
+            W (1, "x", 1); W (2, "x", 2);
+            C 1; C 2 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("causal-serializability", false);
+            ("processor-consistency", false) ];
+    };
+    {
+      name = "write-skew";
+      description =
+        "the canonical snapshot-isolation anomaly: disjoint writes guarded \
+         by overlapping reads";
+      history =
+        history
+          [ B (1, 1); B (2, 2);
+            R (1, "x", 0); R (1, "y", 0);
+            R (2, "x", 0); R (2, "y", 0);
+            W (1, "x", 1); W (2, "y", 1);
+            C 1; C 2 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false) ];
+    };
+    {
+      name = "long-fork";
+      description =
+        "two observers disagree on the order of two independent writes: \
+         violates snapshot isolation (single view) but not processor \
+         consistency (per-process views, no common written item)";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); C 1;
+            B (2, 2); W (2, "y", 1); C 2;
+            B (3, 3); R (3, "x", 1); R (3, "y", 0); C 3;
+            B (4, 4); R (4, "x", 0); R (4, "y", 1); C 4 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false) ];
+    };
+    {
+      name = "causality-violation";
+      description =
+        "T3 observes T2's write but not the T1 write that T2 read from: \
+         violates causal serializability, allowed by processor consistency";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); C 1;
+            B (2, 2); R (2, "x", 1); W (2, "y", 2); C 2;
+            B (3, 3); R (3, "y", 2); R (3, "x", 0); C 3 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false);
+            ("causal-serializability", false) ];
+    };
+    {
+      name = "same-item-write-reorder";
+      description =
+        "two processes observe two writes to the same item in opposite \
+         orders: violates processor consistency (condition 1b), allowed by \
+         PRAM — and also by weak adaptive consistency, which has no \
+         program-order condition and may reorder each process's reads";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); C 1;
+            B (2, 2); W (2, "x", 2); C 2;
+            B (3, 3); R (3, "x", 1); C 3;
+            B (5, 3); R (5, "x", 2); C 5;
+            B (4, 4); R (4, "x", 2); C 4;
+            B (6, 4); R (6, "x", 1); C 6 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false);
+            ("causal-serializability", false);
+            ("processor-consistency", false) ];
+    };
+    {
+      name = "write-order-disagreement";
+      description =
+        "like same-item-write-reorder, but each process's observation \
+         order is pinned by a private item, so the two views are forced to \
+         disagree on the order of the writes to x: violates even weak \
+         adaptive consistency (condition 2); PRAM still accepts";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); C 1;
+            B (2, 2); W (2, "x", 2); C 2;
+            B (3, 3); R (3, "x", 1); W (3, "z", 1); C 3;
+            B (5, 3); R (5, "z", 1); R (5, "x", 2); C 5;
+            B (4, 4); R (4, "x", 2); W (4, "u", 1); C 4;
+            B (6, 4); R (6, "u", 1); R (6, "x", 1); C 6 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false);
+            ("causal-serializability", false);
+            ("processor-consistency", false);
+            ("weak-adaptive", false) ];
+    };
+    {
+      name = "program-order-violation";
+      description =
+        "an observer sees a process's second write but not its first: \
+         violates PRAM (program order), yet satisfies weak adaptive \
+         consistency, which imposes no program-order condition";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); C 1;
+            B (2, 1); W (2, "y", 1); C 2;
+            B (3, 3); R (3, "y", 1); R (3, "x", 0); C 3 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("causal-serializability", false);
+            ("processor-consistency", false);
+            ("pram", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false) ];
+    };
+    {
+      name = "torn-read";
+      description =
+        "a reader sees half of a committed transaction's writes: violates \
+         even weak adaptive consistency (both reads sit in the same \
+         global-read block)";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); W (1, "y", 1); C 1;
+            B (2, 2); R (2, "x", 1); R (2, "y", 0); C 2 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("causal-serializability", false);
+            ("processor-consistency", false);
+            ("pram", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false);
+            ("weak-adaptive", false) ];
+    };
+    {
+      name = "read-only-anomaly";
+      description =
+        "Fekete et al.'s read-only transaction anomaly: T1 and T2 are \
+         serializable on their own, but the read-only T3 observes T1 \
+         without T2, closing a cycle; allowed by snapshot isolation";
+      history =
+        history
+          [ B (2, 2); R (2, "x", 0); R (2, "y", 0);
+            B (1, 1); R (1, "y", 0); W (1, "y", 20); C 1;
+            B (3, 3); R (3, "x", 0); R (3, "y", 20); C 3;
+            W (2, "x", -11); C 2 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false) ];
+    };
+    {
+      name = "aborted-dirty-read";
+      description =
+        "an aborted transaction observed an inconsistent state: violates \
+         opacity, invisible to the committed-only conditions";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); W (1, "y", 1); C 1;
+            B (2, 2); R (2, "x", 1); R (2, "y", 0); Ca 2 ];
+      expected = override all_sat [ ("opacity(final-state)", false) ];
+    };
+    {
+      name = "dirty-read-from-aborted";
+      description =
+        "a committed transaction observed a value whose writer later \
+         aborted: no condition can justify the read (aborted writes are \
+         never in com(alpha))";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1);
+            B (2, 2); R (2, "x", 1); C 2;
+            Ca 1 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("serializability", false);
+            ("causal-serializability", false);
+            ("processor-consistency", false);
+            ("pram", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false);
+            ("weak-adaptive", false) ];
+    };
+    {
+      name = "stale-read-after-commit";
+      description =
+        "a transaction beginning after a commit still reads the old value: \
+         violates strict serializability, allowed by plain serializability";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 1); C 1;
+            B (2, 2); R (2, "x", 0); C 2 ];
+      expected =
+        override all_sat
+          [ ("opacity(final-state)", false);
+            ("strict-serializability", false);
+            ("snapshot-isolation", false);
+            ("snapshot-isolation(ei)", false) ];
+    };
+    {
+      name = "commit-pending-write-observed";
+      description =
+        "a commit-pending transaction's write is observed; com(alpha) must \
+         include it; satisfiable everywhere";
+      history =
+        history
+          [ B (1, 1); W (1, "x", 7); Cp 1;
+            B (2, 2); R (2, "x", 7); C 2 ];
+      expected = all_sat;
+    };
+  ]
+
+let find name = List.find (fun a -> a.name = name) catalogue

@@ -1,0 +1,18 @@
+(** A catalogue of classic concurrency anomalies as concrete histories,
+    with the expected verdict of every checker.  Together they separate
+    all conditions on the paper's lattice (experiment T-D). *)
+
+open Tm_trace
+
+type anomaly = {
+  name : string;
+  description : string;
+  history : History.t;
+  expected : (string * bool) list;
+      (** checker name -> should it be satisfied? *)
+}
+
+val catalogue : anomaly list
+
+val find : string -> anomaly
+(** @raise Not_found on an unknown name. *)

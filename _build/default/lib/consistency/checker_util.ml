@@ -1,0 +1,68 @@
+(* Shared assembly helpers for the checkers. *)
+
+open Tm_base
+open Tm_trace
+
+(** Try every com(alpha) candidate; Sat as soon as one works. *)
+let exists_com (h : History.t) (f : Tid.Set.t -> Spec.verdict) : Spec.verdict
+    =
+  let hit_budget = ref false in
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> if !hit_budget then Spec.Out_of_budget else Spec.Unsat
+    | Seq.Cons (com, rest) -> (
+        match f com with
+        | Spec.Sat -> Spec.Sat
+        | Spec.Out_of_budget ->
+            hit_budget := true;
+            go rest
+        | Spec.Unsat -> go rest)
+  in
+  go (Spec.com_candidates h)
+
+(** Gap window spanning the active execution interval of a transaction. *)
+let active_window (i : Blocks.txn_info) = (i.Blocks.first_pos + 1, i.Blocks.last_pos)
+
+let unbounded (h : History.t) = (0, History.length h)
+
+(** Precedence pairs (indices into [points]) induced by the real-time
+    order [<alpha] restricted to [tids], given the point index of each
+    transaction. *)
+let realtime_prec (h : History.t) (tids : Tid.t list)
+    (index_of : Tid.t -> int option) : (int * int) list =
+  List.concat_map
+    (fun t1 ->
+      List.filter_map
+        (fun t2 ->
+          if (not (Tid.equal t1 t2)) && History.precedes h t1 t2 then
+            match (index_of t1, index_of t2) with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None
+          else None)
+        tids)
+    tids
+
+(** Same-process program-order pairs (Def. 3.2 condition 1a). *)
+let program_order_prec (h : History.t) (info_of : Tid.t -> Blocks.txn_info)
+    (tids : Tid.t list) (index_of : Tid.t -> int option) : (int * int) list =
+  List.concat_map
+    (fun t1 ->
+      List.filter_map
+        (fun t2 ->
+          let i1 = info_of t1 and i2 = info_of t2 in
+          if
+            (not (Tid.equal t1 t2))
+            && i1.Blocks.pid = i2.Blocks.pid
+            && History.precedes h t1 t2
+          then
+            match (index_of t1, index_of t2) with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None
+          else None)
+        tids)
+    tids
+
+(** Processes executing at least one transaction of [tids]. *)
+let view_pids (info_of : Tid.t -> Blocks.txn_info) (tids : Tid.t list) :
+    int list =
+  List.sort_uniq compare (List.map (fun t -> (info_of t).Blocks.pid) tids)

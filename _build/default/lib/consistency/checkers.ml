@@ -1,0 +1,52 @@
+(* Registry of all consistency checkers, ordered roughly from strongest to
+   weakest along the paper's lattice. *)
+
+open Tm_trace
+
+let all : Spec.checker list =
+  [
+    Opacity.checker;
+    Strict_serializability.checker;
+    Serializability.checker;
+    Causal.checker;
+    Processor_consistency.checker;
+    Pram.checker;
+    Snapshot_isolation.checker;
+    Snapshot_isolation_ei.checker;
+    Weak_adaptive.checker;
+  ]
+
+let find name =
+  List.find_opt (fun (c : Spec.checker) -> c.Spec.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Checkers.find_exn: %s" name)
+
+(** Evaluate every checker on a history. *)
+let matrix ?budget (h : History.t) : (string * Spec.verdict) list =
+  List.map
+    (fun (c : Spec.checker) -> (c.Spec.name, c.Spec.check ?budget h))
+    all
+
+(** Names of the checkers a history satisfies. *)
+let satisfied ?budget (h : History.t) : string list =
+  List.filter_map
+    (fun (name, v) -> if Spec.sat v then Some name else None)
+    (matrix ?budget h)
+
+(** The checkers that can produce a witness, for [--explain]-style
+    tooling. *)
+let explainers :
+    (string * (?budget:int -> History.t -> Witness.t option)) list =
+  [
+    ("serializability", Serializability.explain);
+    ("snapshot-isolation", Snapshot_isolation.explain);
+    ("processor-consistency", Processor_consistency.explain);
+    ("pram", Pram.explain);
+    ("weak-adaptive", Weak_adaptive.explain);
+  ]
+
+let explain name ?budget h =
+  Option.bind (List.assoc_opt name explainers) (fun f -> f ?budget h)

@@ -1,0 +1,19 @@
+(** Registry of all consistency checkers, ordered roughly strongest to
+    weakest along the paper's lattice. *)
+
+open Tm_trace
+
+val all : Spec.checker list
+val find : string -> Spec.checker option
+val find_exn : string -> Spec.checker
+
+val matrix : ?budget:int -> History.t -> (string * Spec.verdict) list
+(** Evaluate every checker on a history. *)
+
+val satisfied : ?budget:int -> History.t -> string list
+(** Names of the checkers a history satisfies. *)
+
+val explainers :
+  (string * (?budget:int -> History.t -> Witness.t option)) list
+
+val explain : string -> ?budget:int -> History.t -> Witness.t option

@@ -1,0 +1,10 @@
+(** PRAM consistency [Lipton & Sandberg 88], lifted to transactions as in
+    the paper's comparison: processor consistency without the same-item
+    write-order agreement (condition 1b dropped). *)
+
+open Tm_trace
+
+val check : ?budget:int -> History.t -> Spec.verdict
+val checker : Spec.checker
+
+val explain : ?budget:int -> History.t -> Witness.t option

@@ -1,0 +1,15 @@
+(** Serializability [Papadimitriou 79], as used by the paper: all committed
+    transactions (and some commit-pending ones) execute as in a legal
+    sequential execution.  As is standard in the TM literature — and as
+    required for the paper's lattice, where serializability is stronger
+    than processor consistency — the serialization respects each process's
+    own program order; it need not respect cross-process real time (that
+    is strict serializability). *)
+
+open Tm_trace
+
+val check : ?budget:int -> History.t -> Spec.verdict
+val checker : Spec.checker
+
+val explain : ?budget:int -> History.t -> Witness.t option
+(** The witness serialization, when one exists. *)

@@ -1,0 +1,91 @@
+(* Common vocabulary for the consistency checkers.
+
+   Every condition in the paper has the same shape: "there exists a set
+   com(alpha) of all committed and some commit-pending transactions, and
+   serialization points ... such that the induced sequential history is
+   legal".  Checkers therefore share: the verdict type, enumeration of
+   com(alpha) candidates, and small combinatorial enumerators (subsets,
+   compositions) implemented lazily. *)
+
+open Tm_base
+open Tm_trace
+
+type verdict =
+  | Sat  (** the existential holds — the history satisfies the condition *)
+  | Unsat  (** the search space was exhausted — it does not *)
+  | Out_of_budget  (** the node budget ran out before a decision *)
+
+let verdict_to_string = function
+  | Sat -> "sat"
+  | Unsat -> "unsat"
+  | Out_of_budget -> "out-of-budget"
+
+let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)
+
+(** Is the verdict a definite yes? *)
+let sat = function Sat -> true | Unsat | Out_of_budget -> false
+
+(** A checker decides a history, within a search-node budget. *)
+type checker = { name : string; check : ?budget:int -> History.t -> verdict }
+
+let default_budget = 2_000_000
+
+(* ------------------------------------------------------------------ *)
+(* com(alpha) candidates: all committed transactions plus each subset of
+   the commit-pending ones.  The all-pending-included candidate is tried
+   first: it is the most permissive for read legality of the pending
+   transactions themselves and tends to succeed sooner. *)
+
+let com_candidates (h : History.t) : Tid.Set.t Seq.t =
+  let committed =
+    List.filter (fun t -> History.committed h t) (History.txns h)
+  in
+  let pending =
+    List.filter (fun t -> History.commit_pending h t) (History.txns h)
+  in
+  let base = Tid.Set.of_list committed in
+  let n = List.length pending in
+  let pending = Array.of_list pending in
+  (* enumerate bitmasks from all-ones down to zero *)
+  let rec masks m () =
+    if m < 0 then Seq.Nil
+    else
+      let set =
+        let rec add i acc =
+          if i >= n then acc
+          else if m land (1 lsl i) <> 0 then
+            add (i + 1) (Tid.Set.add pending.(i) acc)
+          else add (i + 1) acc
+        in
+        add 0 base
+      in
+      Seq.Cons (set, masks (m - 1))
+  in
+  masks ((1 lsl n) - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy combinatorial enumerators *)
+
+(** All ways to cut a list into consecutive non-empty blocks. *)
+let rec compositions (l : 'a list) : 'a list list Seq.t =
+  match l with
+  | [] -> Seq.return []
+  | [ x ] -> Seq.return [ [ x ] ]
+  | x :: rest ->
+      Seq.concat_map
+        (fun comp ->
+          match comp with
+          | first :: others ->
+              Seq.cons ((x :: first) :: others)
+                (Seq.return ([ x ] :: first :: others))
+          | [] -> Seq.empty)
+        (compositions rest)
+
+(** All boolean vectors of length [n] (true = snapshot-isolation group). *)
+let bool_vectors (n : int) : bool array Seq.t =
+  let rec go m () =
+    if m >= 1 lsl n then Seq.Nil
+    else
+      Seq.Cons (Array.init n (fun i -> m land (1 lsl i) <> 0), go (m + 1))
+  in
+  go 0

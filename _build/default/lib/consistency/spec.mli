@@ -1,0 +1,37 @@
+(** Common vocabulary for the consistency checkers.
+
+    Every condition in the paper has the same shape: "there exists a set
+    com(alpha) of all committed and some commit-pending transactions, and
+    serialization points ... such that the induced sequential history is
+    legal".  Checkers share the verdict type, the com(alpha) enumeration,
+    and small lazy combinatorial enumerators. *)
+
+open Tm_base
+open Tm_trace
+
+type verdict =
+  | Sat  (** the existential holds — the history satisfies the condition *)
+  | Unsat  (** the search space was exhausted — it does not *)
+  | Out_of_budget  (** the node budget ran out before a decision *)
+
+val verdict_to_string : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val sat : verdict -> bool
+(** Is the verdict a definite yes? *)
+
+type checker = { name : string; check : ?budget:int -> History.t -> verdict }
+(** A named decision procedure with a search-node budget. *)
+
+val default_budget : int
+
+val com_candidates : History.t -> Tid.Set.t Seq.t
+(** The com(alpha) candidates: all committed transactions plus each subset
+    of the commit-pending ones, most inclusive first. *)
+
+val compositions : 'a list -> 'a list list Seq.t
+(** All ways to cut a list into consecutive non-empty blocks
+    (2^(n-1) of them). *)
+
+val bool_vectors : int -> bool array Seq.t
+(** All boolean vectors of length [n]. *)

@@ -1,0 +1,8 @@
+(** Strict serializability [Papadimitriou 79]: serializability whose order
+    additionally respects the real-time precedence T1 <alpha T2 between
+    non-overlapping transactions. *)
+
+open Tm_trace
+
+val check : ?budget:int -> History.t -> Spec.verdict
+val checker : Spec.checker

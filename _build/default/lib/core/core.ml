@@ -1,0 +1,100 @@
+(* Umbrella module: the full public API of the PCL workbench.
+
+   Layers, bottom-up:
+   - {!Value} .. {!Memory}: the shared-memory substrate (base objects,
+     atomic primitives, the step log).
+   - {!Event} .. {!Legality}: histories and the paper's Section-3 notions.
+   - {!Proc} .. {!Explorer}: the deterministic scheduler and schedules.
+   - {!Spec} .. {!Hierarchy}: the consistency-condition decision
+     procedures (Definitions 3.1-3.3 and the surrounding lattice).
+   - {!Conflict} .. {!Obstruction_freedom}: disjoint-access-parallelism
+     and liveness detectors.
+   - {!Tm_intf} .. {!Registry}: the TM implementations.
+   - {!Pcl_*}: the mechanized Section-4 proof construction. *)
+
+(* substrate *)
+module Value = Tm_base.Value
+module Oid = Tm_base.Oid
+module Item = Tm_base.Item
+module Tid = Tm_base.Tid
+module Primitive = Tm_base.Primitive
+module Base_object = Tm_base.Base_object
+module Access_log = Tm_base.Access_log
+module Memory = Tm_base.Memory
+
+(* traces *)
+module Event = Tm_trace.Event
+module History = Tm_trace.History
+module Recorder = Tm_trace.Recorder
+module Legality = Tm_trace.Legality
+module Build = Tm_trace.Build
+module Wire = Tm_trace.Wire
+
+(* runtime *)
+module Proc = Tm_runtime.Proc
+module Scheduler = Tm_runtime.Scheduler
+module Schedule = Tm_runtime.Schedule
+module Sim = Tm_runtime.Sim
+module Explorer = Tm_runtime.Explorer
+
+(* consistency *)
+module Spec = Tm_consistency.Spec
+module Blocks = Tm_consistency.Blocks
+module Placement = Tm_consistency.Placement
+module Views = Tm_consistency.Views
+module Checker_util = Tm_consistency.Checker_util
+module Serializability = Tm_consistency.Serializability
+module Conflict_serializability = Tm_consistency.Conflict_serializability
+module Strict_serializability = Tm_consistency.Strict_serializability
+module Snapshot_isolation = Tm_consistency.Snapshot_isolation
+module Snapshot_isolation_ei = Tm_consistency.Snapshot_isolation_ei
+module Processor_consistency = Tm_consistency.Processor_consistency
+module Pram = Tm_consistency.Pram
+module Causal = Tm_consistency.Causal
+module Weak_adaptive = Tm_consistency.Weak_adaptive
+module Opacity = Tm_consistency.Opacity
+module Checkers = Tm_consistency.Checkers
+module Witness = Tm_consistency.Witness
+module Anomalies = Tm_consistency.Anomalies
+module Hierarchy = Tm_consistency.Hierarchy
+
+(* dap *)
+module Conflict = Tm_dap.Conflict
+module Contention = Tm_dap.Contention
+module Strict_dap = Tm_dap.Strict_dap
+module Graph_dap = Tm_dap.Graph_dap
+module Obstruction_freedom = Tm_dap.Obstruction_freedom
+
+(* tm implementations *)
+module Tm_intf = Tm_impl.Tm_intf
+module Txn_api = Tm_impl.Txn_api
+module Atomically = Tm_impl.Atomically
+module Static_txn = Tm_impl.Static_txn
+module Tl_tm = Tm_impl.Tl_tm
+module Pram_tm = Tm_impl.Pram_tm
+module Dstm_tm = Tm_impl.Dstm_tm
+module Si_tm = Tm_impl.Si_tm
+module Candidate_tm = Tm_impl.Candidate_tm
+module Tl2_tm = Tm_impl.Tl2_tm
+module Norec_tm = Tm_impl.Norec_tm
+module Llsc_tm = Tm_impl.Llsc_tm
+module Registry = Tm_impl.Registry
+
+(* universal constructions *)
+module Seq_object = Tm_universal.Seq_object
+module Universal = Tm_universal.Universal
+module Linearizability = Tm_universal.Linearizability
+
+(* probes *)
+module Liveness_class = Tm_probe.Liveness_class
+module Workload = Tm_probe.Workload
+module Progress = Tm_probe.Progress
+
+(* the mechanized proof *)
+module Pcl_txns = Pcl.Txns
+module Pcl_harness = Pcl.Harness
+module Pcl_critical_step = Pcl.Critical_step
+module Pcl_constructions = Pcl.Constructions
+module Pcl_claims = Pcl.Claims
+module Pcl_verdict = Pcl.Verdict
+module Pcl_figures = Pcl.Figures

@@ -1,0 +1,1 @@
+lib/dap/conflict.ml: Hashtbl Item List Option Queue Tid Tm_base

@@ -1,0 +1,1 @@
+lib/dap/conflict.mli: Hashtbl Item Tid Tm_base

@@ -1,0 +1,1 @@
+lib/dap/contention.ml: Access_log Hashtbl List Oid Option Primitive Tid Tm_base

@@ -1,0 +1,1 @@
+lib/dap/contention.mli: Access_log Oid Tid Tm_base

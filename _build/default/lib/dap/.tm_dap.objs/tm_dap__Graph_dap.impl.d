@@ -1,0 +1,1 @@
+lib/dap/graph_dap.ml: Access_log Conflict Contention List Oid Tid Tm_base

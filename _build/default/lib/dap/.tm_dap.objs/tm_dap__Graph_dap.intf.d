@@ -1,0 +1,1 @@
+lib/dap/graph_dap.mli: Access_log Conflict Oid Tid Tm_base

@@ -1,0 +1,1 @@
+lib/dap/obstruction_freedom.ml: Access_log Event Fmt History List Option Tid Tm_base Tm_trace

@@ -1,0 +1,1 @@
+lib/dap/obstruction_freedom.mli: Access_log Format History Tid Tm_base Tm_trace

@@ -1,0 +1,1 @@
+lib/dap/strict_dap.ml: Access_log Conflict Contention Fmt List Oid Tid Tm_base

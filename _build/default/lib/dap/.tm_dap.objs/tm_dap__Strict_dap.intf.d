@@ -1,0 +1,1 @@
+lib/dap/strict_dap.mli: Access_log Conflict Format Oid Tid Tm_base

@@ -1,0 +1,65 @@
+(* Conflicts and conflict graphs (Section 2/3).
+
+   Two (static) transactions conflict if their data sets intersect.  The
+   conflict graph of an execution interval has transactions as nodes and
+   conflict edges; the weaker DAP variants allow contention between
+   transactions connected by a path. *)
+
+open Tm_base
+
+(** Static data sets: D(T) is derivable from the transaction's code.  The
+    PCL harness registers the declared read/write sets; dynamic workloads
+    register the sets actually accessed. *)
+type data_sets = (Tid.t * Item.Set.t) list
+
+let data_set (ds : data_sets) tid =
+  match List.assoc_opt tid ds with
+  | Some s -> s
+  | None -> Item.Set.empty
+
+let conflict (ds : data_sets) t1 t2 =
+  (not (Tid.equal t1 t2))
+  && not (Item.Set.is_empty (Item.Set.inter (data_set ds t1) (data_set ds t2)))
+
+(** Adjacency-list conflict graph over the given transactions. *)
+type graph = { nodes : Tid.t list; adj : (Tid.t, Tid.t list) Hashtbl.t }
+
+let graph (ds : data_sets) (nodes : Tid.t list) : graph =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun t1 ->
+      let neighbours =
+        List.filter (fun t2 -> conflict ds t1 t2) nodes
+      in
+      Hashtbl.replace adj t1 neighbours)
+    nodes;
+  { nodes; adj }
+
+let neighbours (g : graph) tid =
+  Option.value ~default:[] (Hashtbl.find_opt g.adj tid)
+
+(** Length (in edges) of a shortest conflict path between two transactions,
+    if one exists.  [Some 0] means [t1 = t2]. *)
+let distance (g : graph) t1 t2 : int option =
+  if Tid.equal t1 t2 then Some 0
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited t1 ();
+    let q = Queue.create () in
+    Queue.push (t1, 0) q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let node, d = Queue.pop q in
+      List.iter
+        (fun n ->
+          if not (Hashtbl.mem visited n) then begin
+            Hashtbl.replace visited n ();
+            if Tid.equal n t2 then found := Some (d + 1)
+            else Queue.push (n, d + 1) q
+          end)
+        (neighbours g node)
+    done;
+    !found
+  end
+
+let connected (g : graph) t1 t2 = Option.is_some (distance g t1 t2)

@@ -1,0 +1,26 @@
+(** Conflicts and conflict graphs (Sections 2-3).
+
+    Two (static) transactions conflict if their data sets intersect; the
+    conflict graph of an execution has its transactions as nodes and
+    conflict edges.  The weaker DAP variants allow contention between
+    transactions connected by a path. *)
+
+open Tm_base
+
+type data_sets = (Tid.t * Item.Set.t) list
+(** D(T) per transaction — derivable from static transaction code, or
+    collected from the accesses actually performed. *)
+
+val data_set : data_sets -> Tid.t -> Item.Set.t
+val conflict : data_sets -> Tid.t -> Tid.t -> bool
+
+type graph = { nodes : Tid.t list; adj : (Tid.t, Tid.t list) Hashtbl.t }
+
+val graph : data_sets -> Tid.t list -> graph
+val neighbours : graph -> Tid.t -> Tid.t list
+
+val distance : graph -> Tid.t -> Tid.t -> int option
+(** Length in edges of a shortest conflict path, [Some 0] for equal
+    transactions, [None] if disconnected. *)
+
+val connected : graph -> Tid.t -> Tid.t -> bool

@@ -1,0 +1,56 @@
+(* Contention on base objects (Section 3): alpha|T1 and alpha|T2 contend on
+   o if both contain a primitive on o and at least one of those primitives
+   is non-trivial. *)
+
+open Tm_base
+
+type access_summary = {
+  tid : Tid.t;
+  objects : bool Oid.Map.t;  (** oid -> applied a non-trivial primitive? *)
+}
+
+let summarize (log : Access_log.entry list) : access_summary list =
+  let tbl : (Tid.t, bool Oid.Map.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Access_log.entry) ->
+      match e.tid with
+      | None -> ()
+      | Some tid ->
+          let m =
+            Option.value ~default:Oid.Map.empty (Hashtbl.find_opt tbl tid)
+          in
+          let prev = Option.value ~default:false (Oid.Map.find_opt e.oid m) in
+          Hashtbl.replace tbl tid
+            (Oid.Map.add e.oid (prev || Primitive.non_trivial e.prim) m))
+    log;
+  Hashtbl.fold (fun tid objects acc -> { tid; objects } :: acc) tbl []
+
+(** Objects on which two transactions contend in the log. *)
+let contended_objects (s1 : access_summary) (s2 : access_summary) :
+    Oid.t list =
+  Oid.Map.fold
+    (fun oid nt1 acc ->
+      match Oid.Map.find_opt oid s2.objects with
+      | Some nt2 when nt1 || nt2 -> oid :: acc
+      | Some _ | None -> acc)
+    s1.objects []
+
+type contention = { t1 : Tid.t; t2 : Tid.t; objects : Oid.t list }
+
+(** Every contending pair of transactions in the log. *)
+let all_contentions (log : Access_log.entry list) : contention list =
+  let summaries = summarize log in
+  let rec go acc = function
+    | [] -> acc
+    | s1 :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc s2 ->
+              match contended_objects s1 s2 with
+              | [] -> acc
+              | objects -> { t1 = s1.tid; t2 = s2.tid; objects } :: acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] summaries

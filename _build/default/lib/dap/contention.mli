@@ -1,0 +1,18 @@
+(** Contention on base objects (Section 3): alpha|T1 and alpha|T2 contend
+    on o if both contain a primitive on o and at least one is
+    non-trivial. *)
+
+open Tm_base
+
+type access_summary = {
+  tid : Tid.t;
+  objects : bool Oid.Map.t;  (** oid -> applied a non-trivial primitive? *)
+}
+
+val summarize : Access_log.entry list -> access_summary list
+val contended_objects : access_summary -> access_summary -> Oid.t list
+
+type contention = { t1 : Tid.t; t2 : Tid.t; objects : Oid.t list }
+
+val all_contentions : Access_log.entry list -> contention list
+(** Every contending pair of transactions in the log. *)

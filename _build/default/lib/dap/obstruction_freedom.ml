@@ -1,0 +1,69 @@
+(* Obstruction-freedom (Section 3): a transaction T may be aborted only if
+   other processes take steps during T's execution interval.
+
+   The per-execution detector: for every aborted transaction, check whether
+   any other process took a step between T's first and last step (step
+   contention).  An abort without step contention refutes
+   obstruction-freedom.  Solo-run non-termination (the blocking liveness
+   failure) is detected separately by the scheduler's step budgets. *)
+
+open Tm_base
+open Tm_trace
+
+type violation = {
+  tid : Tid.t;
+  interval : int * int;  (** step interval of the transaction *)
+}
+
+let pp_violation ppf (v : violation) =
+  let lo, hi = v.interval in
+  Fmt.pf ppf "%s aborted without step contention (steps %d..%d)"
+    (Tid.name v.tid) lo hi
+
+(** Steps attributed to [tid] in the log, as (first, last) global indices.
+    Falls back to event timestamps when the transaction took no shared
+    steps. *)
+let step_interval (h : History.t) (log : Access_log.entry list) tid :
+    (int * int) option =
+  let steps =
+    List.filter_map
+      (fun (e : Access_log.entry) ->
+        if e.tid = Some tid then Some e.index else None)
+      log
+  in
+  match steps with
+  | [] ->
+      (* no shared steps: use the event 'at' stamps (step counts at event
+         time) as a degenerate interval *)
+      Option.map
+        (fun (f, l) ->
+          let at i = Event.at (History.get h i) in
+          (at f, at l))
+        (History.positions_of_txn h tid)
+  | first :: _ ->
+      let last = List.fold_left max first steps in
+      Some (first, last)
+
+let violations (h : History.t) (log : Access_log.entry list) :
+    violation list =
+  let aborted =
+    List.filter (fun tid -> History.aborted h tid) (History.txns h)
+  in
+  List.filter_map
+    (fun tid ->
+      match step_interval h log tid with
+      | None -> None
+      | Some (lo, hi) ->
+          let pid =
+            Option.value ~default:(-1) (History.pid_of_txn h tid)
+          in
+          let contended =
+            List.exists
+              (fun (e : Access_log.entry) ->
+                e.index >= lo && e.index <= hi && e.pid <> pid)
+              log
+          in
+          if contended then None else Some { tid; interval = (lo, hi) })
+    aborted
+
+let holds h log = violations h log = []

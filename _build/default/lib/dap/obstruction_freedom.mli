@@ -1,0 +1,21 @@
+(** Obstruction-freedom (Section 3): a transaction may be aborted only if
+    other processes take steps during its execution interval.  The
+    detector flags every abort without step contention; solo-run
+    non-termination (blocking) is detected separately by scheduler step
+    budgets. *)
+
+open Tm_base
+open Tm_trace
+
+type violation = {
+  tid : Tid.t;
+  interval : int * int;  (** step interval of the transaction *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val step_interval :
+  History.t -> Access_log.entry list -> Tid.t -> (int * int) option
+
+val violations : History.t -> Access_log.entry list -> violation list
+val holds : History.t -> Access_log.entry list -> bool

@@ -1,0 +1,1 @@
+lib/pcl/claims.ml: Access_log Constructions Fmt Harness History Item List Oid Primitive Printf Result Sim Tid Tm_base Tm_dap Tm_impl Tm_intf Tm_runtime Tm_trace Txns Value

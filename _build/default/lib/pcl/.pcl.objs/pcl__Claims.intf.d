@@ -1,0 +1,1 @@
+lib/pcl/claims.mli: Constructions Harness Item Tid Tm_base Tm_dap Tm_impl Tm_intf Value

@@ -1,0 +1,1 @@
+lib/pcl/constructions.ml: Access_log Critical_step Fmt Item Printf Schedule Tid Tm_base Tm_impl Tm_intf Tm_runtime Txns Value

@@ -1,0 +1,1 @@
+lib/pcl/constructions.mli: Access_log Critical_step Format Item Schedule Tid Tm_base Tm_impl Tm_intf Tm_runtime Value

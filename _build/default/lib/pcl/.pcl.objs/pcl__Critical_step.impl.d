@@ -1,0 +1,1 @@
+lib/pcl/critical_step.ml: Access_log Harness Item Printexc Schedule Sim Tid Tm_base Tm_impl Tm_intf Tm_runtime Value

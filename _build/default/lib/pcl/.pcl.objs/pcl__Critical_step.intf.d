@@ -1,0 +1,1 @@
+lib/pcl/critical_step.mli: Access_log Item Schedule Tid Tm_base Tm_impl Tm_intf Tm_runtime Value

@@ -1,0 +1,1 @@
+lib/pcl/figures.ml: Claims Constructions Critical_step Fmt Harness Item List Oid Primitive Printf Static_txn String Tid Tm_base Tm_impl Tm_runtime Txns Value

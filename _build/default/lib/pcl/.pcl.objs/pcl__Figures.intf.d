@@ -1,0 +1,1 @@
+lib/pcl/figures.mli: Access_log Claims Constructions Format Static_txn Tm_base Tm_impl Tm_runtime

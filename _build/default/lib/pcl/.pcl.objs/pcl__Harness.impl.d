@@ -1,0 +1,1 @@
+lib/pcl/harness.ml: Access_log Hashtbl List Oid Option Primitive Schedule Sim Static_txn Tid Tm_base Tm_impl Tm_intf Tm_runtime Txn_api Txns

@@ -1,0 +1,1 @@
+lib/pcl/harness.mli: Access_log Hashtbl Item Oid Primitive Schedule Sim Static_txn Tid Tm_base Tm_impl Tm_intf Tm_runtime Value

@@ -1,0 +1,1 @@
+lib/pcl/txns.ml: Item List Static_txn Tid Tm_base Tm_impl Value

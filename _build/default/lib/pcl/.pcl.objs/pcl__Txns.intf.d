@@ -1,0 +1,1 @@
+lib/pcl/txns.mli: Item Static_txn Tid Tm_base Tm_impl

@@ -1,0 +1,1 @@
+lib/pcl/verdict.mli: Format Tm_dap Tm_impl Tm_intf

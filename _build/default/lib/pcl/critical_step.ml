@@ -1,0 +1,103 @@
+(* Locating the critical steps s1 and s2 (Figures 1 and 2).
+
+   The proof establishes that *some* step of the writer's solo run flips
+   the value a later solo reader observes; executably, the existence
+   argument becomes a linear scan over solo-prefix lengths.  The possible
+   outcomes map exactly onto the PCL triangle:
+
+   - [Found]    — the flip step exists: the construction continues.
+   - [No_flip]  — the reader never observes the writer's committed value:
+                  the TM cannot satisfy weak adaptive consistency (the
+                  delta_1 case analysis at the start of the proof).
+   - [Liveness] — the writer cannot commit solo, or the reader cannot
+                  complete solo from some reachable configuration
+                  (obstruction-freedom / solo progress violated). *)
+
+open Tm_base
+open Tm_runtime
+open Tm_impl
+
+type found = {
+  k : int;  (** s = the k-th step of the writer's solo segment (1-based) *)
+  step : Access_log.entry;  (** the step itself *)
+  before : Value.t;  (** reader's value from the configuration before s *)
+  after : Value.t;  (** reader's value from the configuration after s *)
+  writer_total : int;  (** steps of the writer's full solo segment *)
+}
+
+type result =
+  | Found of found
+  | No_flip of { writer_total : int; value : Value.t }
+  | Liveness of { phase : string; at_prefix : int option }
+  | Crashed of string
+
+(** [find impl ~prefix ~writer ~writer_tid ~reader ~reader_tid ~item
+     ~initial_value] — scan solo prefixes of [writer] (run after
+     [prefix]) and locate the first one after which [reader], run solo to
+     completion, reads something other than [initial_value] for [item]. *)
+let find ?budget (impl : Tm_intf.impl) ~(prefix : Schedule.atom list)
+    ~(writer : int) ~(reader : int) ~(reader_tid : Tid.t) ~(item : Item.t)
+    ~(initial_value : Value.t) : result =
+  (* total solo steps of the writer from the prefix configuration *)
+  let full =
+    Harness.run ?budget impl (prefix @ [ Schedule.Until_done writer ])
+  in
+  match full.Harness.sim.Sim.report.Schedule.stop with
+  | Schedule.Crashed (_, e) -> Crashed (Printexc.to_string e)
+  | Schedule.Budget_exhausted _ ->
+      Liveness { phase = "writer solo run"; at_prefix = None }
+  | Schedule.Completed -> (
+      let writer_total =
+        (* steps of the writer during its Until_done segment; the writer
+           does not run during [prefix] in the proof's constructions *)
+        full.Harness.sim.Sim.steps_of writer
+      in
+      let reader_value k =
+        let r =
+          Harness.run ?budget impl
+            (prefix
+            @ [ Schedule.Steps (writer, k); Schedule.Until_done reader ])
+        in
+        match r.Harness.sim.Sim.report.Schedule.stop with
+        | Schedule.Crashed (_, e) -> Error (Crashed (Printexc.to_string e))
+        | Schedule.Budget_exhausted _ ->
+            Error (Liveness { phase = "reader solo run"; at_prefix = Some k })
+        | Schedule.Completed -> (
+            if Harness.aborted r reader_tid then
+              (* the reader ran solo (every writer step precedes its
+                 interval), so an abort violates obstruction-freedom *)
+              Error
+                (Liveness { phase = "reader solo abort"; at_prefix = Some k })
+            else
+              match Harness.read_of r reader_tid item with
+              | Some v -> Ok (v, r)
+              | None -> Error (Crashed "reader committed without the read"))
+      in
+      let rec scan k =
+        if k > writer_total then
+          match reader_value writer_total with
+          | Ok (v, _) -> No_flip { writer_total; value = v }
+          | Error e -> e
+        else
+          match reader_value k with
+          | Error e -> e
+          | Ok (v, _) ->
+              if Value.equal v initial_value then scan (k + 1)
+              else begin
+                (* flip at the k-th writer step; fetch that step *)
+                let r =
+                  Harness.run ?budget impl
+                    (prefix @ [ Schedule.Steps (writer, k) ])
+                in
+                match Harness.nth_step_of_pid r writer k with
+                | None -> Crashed "flip step not found in log"
+                | Some step ->
+                    let before =
+                      match reader_value (k - 1) with
+                      | Ok (v, _) -> v
+                      | Error _ -> initial_value
+                    in
+                    Found { k; step; before; after = v; writer_total }
+              end
+      in
+      scan 0)

@@ -1,0 +1,24 @@
+(** Text rendering of the paper's Figures 1-6 from a claims report. *)
+
+open Tm_base
+open Tm_impl
+
+val pp_step : Format.formatter -> Access_log.entry -> unit
+
+val pp_fig12 :
+  Format.formatter -> [ `Fig1 | `Fig2 ] -> Constructions.t -> unit
+
+val pp_schedule_line :
+  Format.formatter -> string * Tm_runtime.Schedule.atom list -> unit
+
+val pp_txn_row :
+  Claims.side -> Format.formatter -> Static_txn.spec -> unit
+
+val pp_table : int list -> Claims.side -> Format.formatter -> unit -> unit
+val pp_check : Format.formatter -> Claims.value_check -> unit
+val pp_report : Format.formatter -> Claims.report -> unit
+
+val pp_lanes :
+  Format.formatter -> Claims.side * Tm_runtime.Schedule.atom list -> unit
+(** Per-process lane rendering of a side's schedule — the visual layout of
+    the paper's Figures 5-6, with the adversarial steps s1/s2 marked. *)

@@ -1,0 +1,90 @@
+(* Running the proof's transactions against a TM under scripted schedules.
+   Every execution is replayed from the initial configuration C0, so
+   configurations are identified with schedule prefixes. *)
+
+open Tm_base
+open Tm_runtime
+open Tm_impl
+
+type run = {
+  sim : Sim.result;
+  outcomes : (Tid.t, Static_txn.outcome) Hashtbl.t;
+}
+
+let default_budget = 50_000
+
+(** Replay [schedule] from C0 with all seven transactions spawned. *)
+let run ?(budget = default_budget) (impl : Tm_intf.impl)
+    (schedule : Schedule.atom list) : run =
+  let outcomes = Hashtbl.create 16 in
+  let setup mem recorder =
+    let handle =
+      Txn_api.instantiate impl mem recorder ~items:Txns.items
+    in
+    List.map
+      (fun s ->
+        (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+      Txns.specs
+  in
+  let sim = Sim.replay ~budget setup schedule in
+  { sim; outcomes }
+
+let outcome r tid = Hashtbl.find_opt r.outcomes tid
+
+let committed r tid =
+  match outcome r tid with
+  | Some o -> o.Static_txn.status = Static_txn.Committed
+  | None -> false
+
+let aborted r tid =
+  match outcome r tid with
+  | Some o -> o.Static_txn.status = Static_txn.Aborted
+  | None -> false
+
+(** Value transaction [tid] read for [x] in this run, if it got that far. *)
+let read_of r tid x =
+  Option.bind (outcome r tid) (fun o -> Static_txn.read_value o x)
+
+let stopped_normally r =
+  match r.sim.Sim.report.Schedule.stop with
+  | Schedule.Completed -> true
+  | Schedule.Budget_exhausted _ | Schedule.Crashed _ -> false
+
+let budget_exhausted_pid r =
+  match r.sim.Sim.report.Schedule.stop with
+  | Schedule.Budget_exhausted pid -> Some pid
+  | _ -> None
+
+(** The [n]-th step (1-based) taken by [pid] in the run's log. *)
+let nth_step_of_pid r pid n : Access_log.entry option =
+  let rec go k = function
+    | [] -> None
+    | (e : Access_log.entry) :: rest ->
+        if e.pid = pid then if k = n then Some e else go (k + 1) rest
+        else go k rest
+  in
+  go 1 r.sim.Sim.log
+
+(** Steps taken by [pid], as (oid, primitive, response) triples — used for
+    the indistinguishability comparison. *)
+let step_signature r pid =
+  List.filter_map
+    (fun (e : Access_log.entry) ->
+      if e.pid = pid then Some (e.oid, e.prim, e.response) else None)
+    r.sim.Sim.log
+
+(** Objects on which [pid] applied a trivial (read) primitive. *)
+let objects_read_by r pid : Oid.Set.t =
+  List.fold_left
+    (fun acc (e : Access_log.entry) ->
+      if e.pid = pid && Primitive.trivial e.prim then Oid.Set.add e.oid acc
+      else acc)
+    Oid.Set.empty r.sim.Sim.log
+
+(** Does the sub-execution of [pid] contain a non-trivial primitive on
+    [oid]? *)
+let nontrivial_on r pid oid =
+  List.exists
+    (fun (e : Access_log.entry) ->
+      e.pid = pid && Oid.equal e.oid oid && Primitive.non_trivial e.prim)
+    r.sim.Sim.log

@@ -1,0 +1,71 @@
+(* The seven static transactions of the PCL proof (Section 4), verbatim:
+
+   T1 (p1): reads b3, b7;  writes 1 to a, b1, c1, d1, e1_3
+   T2 (p2): reads b5, b7;  writes 2 to a, b2, c2, d2, e2_5, e2_7
+   T3 (p3): reads b1, b4;  writes 1 to b3, c3, e1_3, e3_4
+   T4 (p4): reads d2, c3;  writes 1 to b4, e3_4
+   T5 (p5): reads b2, b6;  writes 1 to b5, c5, e2_5, e5_6
+   T6 (p6): reads d1, c5;  writes 1 to b6, e5_6
+   T7 (p7): reads a, c1, c2; writes 1 to b7, e2_7
+
+   (b_k, c_k, d_k are written by T_k alone; e_{k,m} by both T_k and T_m.) *)
+
+open Tm_base
+open Tm_impl
+
+let a = Item.v "a"
+let b1 = Item.v "b1"
+let b2 = Item.v "b2"
+let b3 = Item.v "b3"
+let b4 = Item.v "b4"
+let b5 = Item.v "b5"
+let b6 = Item.v "b6"
+let b7 = Item.v "b7"
+let c1 = Item.v "c1"
+let c2 = Item.v "c2"
+let c3 = Item.v "c3"
+let c5 = Item.v "c5"
+let d1 = Item.v "d1"
+let d2 = Item.v "d2"
+let e1_3 = Item.v "e1_3"
+let e2_5 = Item.v "e2_5"
+let e2_7 = Item.v "e2_7"
+let e3_4 = Item.v "e3_4"
+let e5_6 = Item.v "e5_6"
+
+let w v xs = List.map (fun x -> (x, Value.int v)) xs
+
+let t1 =
+  { Static_txn.tid = Tid.v 1; pid = 1; reads = [ b3; b7 ];
+    writes = w 1 [ a; b1; c1; d1; e1_3 ] }
+
+let t2 =
+  { Static_txn.tid = Tid.v 2; pid = 2; reads = [ b5; b7 ];
+    writes = w 2 [ a; b2; c2; d2; e2_5; e2_7 ] }
+
+let t3 =
+  { Static_txn.tid = Tid.v 3; pid = 3; reads = [ b1; b4 ];
+    writes = w 1 [ b3; c3; e1_3; e3_4 ] }
+
+let t4 =
+  { Static_txn.tid = Tid.v 4; pid = 4; reads = [ d2; c3 ];
+    writes = w 1 [ b4; e3_4 ] }
+
+let t5 =
+  { Static_txn.tid = Tid.v 5; pid = 5; reads = [ b2; b6 ];
+    writes = w 1 [ b5; c5; e2_5; e5_6 ] }
+
+let t6 =
+  { Static_txn.tid = Tid.v 6; pid = 6; reads = [ d1; c5 ];
+    writes = w 1 [ b6; e5_6 ] }
+
+let t7 =
+  { Static_txn.tid = Tid.v 7; pid = 7; reads = [ a; c1; c2 ];
+    writes = w 1 [ b7; e2_7 ] }
+
+let specs = [ t1; t2; t3; t4; t5; t6; t7 ]
+let items = Static_txn.items_of specs
+let data_sets = Static_txn.data_sets specs
+
+let spec_of tid =
+  List.find (fun s -> Tid.equal s.Static_txn.tid tid) specs

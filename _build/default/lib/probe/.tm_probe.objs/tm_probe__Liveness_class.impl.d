@@ -1,0 +1,1 @@
+lib/probe/liveness_class.ml: Fmt Hashtbl Item List Memory Option Printf Schedule Scheduler Sim Static_txn Tid Tm_base Tm_impl Tm_intf Tm_runtime Tm_trace Txn_api Value

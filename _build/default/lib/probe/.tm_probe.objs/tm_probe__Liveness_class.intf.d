@@ -1,0 +1,1 @@
+lib/probe/liveness_class.mli: Format Tm_impl Tm_intf

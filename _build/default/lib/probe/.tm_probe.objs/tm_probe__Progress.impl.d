@@ -1,0 +1,1 @@
+lib/probe/progress.ml: Hashtbl Item List Schedule Sim Static_txn Tid Tm_base Tm_impl Tm_intf Tm_runtime Txn_api Value

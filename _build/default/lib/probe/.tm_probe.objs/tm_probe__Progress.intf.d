@@ -1,0 +1,1 @@
+lib/probe/progress.mli: Tm_impl Tm_intf

@@ -1,0 +1,1 @@
+lib/probe/workload.ml: Access_log Conflict Contention History Item List Memory Option Printf Random Recorder Scheduler Tid Tm_base Tm_dap Tm_impl Tm_intf Tm_runtime Tm_trace Txn_api Value

@@ -1,0 +1,1 @@
+lib/probe/workload.mli: Item Tm_base Tm_impl Tm_intf

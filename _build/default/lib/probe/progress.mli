@@ -1,0 +1,20 @@
+(** The liveness profile (T-E): suspend a 2-item writer at every point of
+    its solo run and probe whether another transaction still finishes solo
+    — once conflicting (obstruction-freedom) and once disjoint (where
+    strict DAP alone should guarantee progress). *)
+
+open Tm_impl
+
+type outcome = Commit | Abort | Stall
+
+type profile = {
+  points : int;  (** suspension points probed *)
+  commits : int;
+  aborts : int;
+  stalls : int;
+}
+
+val probe_once :
+  Tm_intf.impl -> suspend_at:int -> probe_pid:int -> probe_tid:int -> outcome
+
+val run : Tm_intf.impl -> disjoint:bool -> profile

@@ -1,0 +1,150 @@
+(* Workload generator and round-robin driver for the scaling experiment
+   (T-B in DESIGN.md): n processes each execute a stream of
+   read-modify-write transactions over item pools with a configurable
+   conflict ratio; aborted transactions retry with a fresh tid (as in the
+   paper's restart model).  All measurements are simulator-deterministic:
+   steps, commits, aborts, contentions. *)
+
+open Tm_base
+open Tm_trace
+open Tm_runtime
+open Tm_impl
+open Tm_dap
+
+type config = {
+  n_procs : int;
+  txns_per_proc : int;
+  conflict_pct : int;  (** 0..100: probability a txn touches shared items *)
+  items_per_txn : int;
+  shared_items : int;
+  seed : int;
+  max_retries : int;
+}
+
+let default =
+  {
+    n_procs = 4;
+    txns_per_proc = 25;
+    conflict_pct = 0;
+    items_per_txn = 2;
+    shared_items = 4;
+    seed = 1;
+    max_retries = 8;
+  }
+
+type stats = {
+  steps : int;
+  commits : int;
+  aborts : int;
+  contentions : int;
+  disjoint_contentions : int;
+  completed : bool;  (** all processes finished within the step budget *)
+}
+
+let items_for (cfg : config) : Item.t list =
+  let shared =
+    List.init cfg.shared_items (fun i -> Item.v (Printf.sprintf "s%d" i))
+  in
+  let private_ =
+    List.concat_map
+      (fun p ->
+        List.init cfg.items_per_txn (fun i ->
+            Item.v (Printf.sprintf "p%d_%d" p i)))
+      (List.init cfg.n_procs (fun p -> p + 1))
+  in
+  shared @ private_
+
+(* the item set of one transaction attempt, decided deterministically from
+   the seeded RNG *)
+let txn_items cfg st ~pid =
+  let shared = Random.State.int st 100 < cfg.conflict_pct in
+  List.init cfg.items_per_txn (fun i ->
+      if shared then
+        Item.v (Printf.sprintf "s%d" (Random.State.int st cfg.shared_items))
+      else Item.v (Printf.sprintf "p%d_%d" pid i))
+
+(* one client process: run its transaction stream with retries *)
+let client cfg (handle : Txn_api.handle) ~pid ~commits ~aborts () =
+  let st = Random.State.make [| cfg.seed; pid |] in
+  for k = 1 to cfg.txns_per_proc do
+    let items = txn_items cfg st ~pid in
+    let rec attempt n =
+      let tid = Tid.v ((pid * 1_000_000) + (k * 100) + n) in
+      let txn = handle.Txn_api.begin_txn ~pid ~tid in
+      let rec ops = function
+        | [] -> txn.Txn_api.try_commit ()
+        | x :: rest -> (
+            match txn.Txn_api.read x with
+            | Error () -> Error ()
+            | Ok v -> (
+                let v' =
+                  Value.int ((Option.value ~default:0 (Value.to_int v)) + 1)
+                in
+                match txn.Txn_api.write x v' with
+                | Error () -> Error ()
+                | Ok () -> ops rest))
+      in
+      match ops items with
+      | Ok () -> incr commits
+      | Error () ->
+          incr aborts;
+          if n < cfg.max_retries then attempt (n + 1)
+    in
+    attempt 0
+  done
+
+(** Run the workload under a fair round-robin schedule (one step per
+    process per turn) and collect the statistics. *)
+let run (impl : Tm_intf.impl) (cfg : config) : stats =
+  let mem = Memory.create () in
+  let recorder = Recorder.create () in
+  let handle = Txn_api.instantiate impl mem recorder ~items:(items_for cfg) in
+  let sched = Scheduler.create mem in
+  let commits = ref 0 and aborts = ref 0 in
+  let pids = List.init cfg.n_procs (fun p -> p + 1) in
+  List.iter
+    (fun pid ->
+      Scheduler.spawn sched ~pid (client cfg handle ~pid ~commits ~aborts))
+    pids;
+  let budget = 200_000 in
+  let rec round steps =
+    if steps > budget then false
+    else if List.for_all (fun pid -> Scheduler.finished sched pid) pids then
+      true
+    else begin
+      List.iter
+        (fun pid ->
+          if not (Scheduler.finished sched pid) then
+            ignore (Scheduler.step sched pid))
+        pids;
+      round (steps + cfg.n_procs)
+    end
+  in
+  let completed = round 0 in
+  let log = Access_log.entries (Memory.log mem) in
+  let contentions = Contention.all_contentions log in
+  (* data sets for DAP classification: collect per-txn items from the
+     history *)
+  let h = Recorder.history recorder in
+  let data_sets =
+    List.map
+      (fun tid ->
+        ( tid,
+          Item.Set.union (History.write_set h tid)
+            (History.read_set h tid) ))
+      (History.txns h)
+  in
+  let disjoint =
+    List.filter
+      (fun (c : Contention.contention) ->
+        not (Conflict.conflict data_sets c.Contention.t1 c.Contention.t2))
+      contentions
+  in
+  {
+    steps = List.length log;
+    commits = !commits;
+    aborts = !aborts;
+    contentions = List.length contentions;
+    disjoint_contentions = List.length disjoint;
+    completed;
+  }

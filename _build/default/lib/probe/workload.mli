@@ -1,0 +1,32 @@
+(** Workload generator and round-robin driver for the scaling experiment
+    (T-B): n processes each run a stream of read-modify-write transactions
+    over item pools with a configurable conflict ratio; aborted
+    transactions retry with fresh ids.  Fully deterministic for a fixed
+    seed. *)
+
+open Tm_base
+open Tm_impl
+
+type config = {
+  n_procs : int;
+  txns_per_proc : int;
+  conflict_pct : int;  (** 0..100: probability a txn touches shared items *)
+  items_per_txn : int;
+  shared_items : int;
+  seed : int;
+  max_retries : int;
+}
+
+val default : config
+
+type stats = {
+  steps : int;
+  commits : int;
+  aborts : int;
+  contentions : int;
+  disjoint_contentions : int;
+  completed : bool;  (** all processes finished within the step budget *)
+}
+
+val items_for : config -> Item.t list
+val run : Tm_intf.impl -> config -> stats

@@ -1,0 +1,1 @@
+lib/runtime/proc.ml: Effect Oid Primitive Tid Tm_base Value

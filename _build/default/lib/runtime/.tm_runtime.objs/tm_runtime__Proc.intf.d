@@ -1,0 +1,1 @@
+lib/runtime/proc.mli: Effect Oid Primitive Tid Tm_base Value

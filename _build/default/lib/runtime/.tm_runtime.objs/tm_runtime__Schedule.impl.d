@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Fmt List Scheduler

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Effect Hashtbl List Memory Printf Proc Tm_base Value

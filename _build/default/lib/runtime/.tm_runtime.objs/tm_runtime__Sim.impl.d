@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Access_log History List Memory Recorder Schedule Scheduler Tm_base Tm_trace

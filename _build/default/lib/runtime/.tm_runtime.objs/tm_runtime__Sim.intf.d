@@ -1,0 +1,1 @@
+lib/runtime/sim.mli: Access_log History Memory Recorder Schedule Tm_base Tm_trace

@@ -1,0 +1,77 @@
+(* Bounded exhaustive exploration of interleavings — a small stateless
+   model checker.  Because executions are replayed from C_0, backtracking
+   needs no continuation snapshots: a node of the search tree is just the
+   sequence of pids stepped so far.
+
+   Used by the test suite to verify properties over *all* executions of
+   short workloads (e.g. "every interleaving of these two transactions on
+   TL is strictly serializable", "the candidate TM has an interleaving that
+   violates snapshot isolation"). *)
+
+type stats = {
+  mutable executions : int;  (** complete executions enumerated *)
+  mutable nodes : int;  (** search-tree nodes (replays) *)
+  mutable truncated : bool;  (** hit a bound before finishing *)
+}
+
+let explore ?(max_steps = 200) ?(max_executions = 100_000)
+    ?(max_nodes = 1_000_000) (setup : Sim.setup) ~(pids : int list)
+    ~(on_execution : Sim.result -> unit) : stats =
+  let stats = { executions = 0; nodes = 0; truncated = false } in
+  (* replay a path given as a reversed pid list *)
+  let replay_path path_rev =
+    let atoms = List.rev_map (fun pid -> Schedule.Steps (pid, 1)) path_rev in
+    Sim.replay setup atoms
+  in
+  let rec dfs path_rev depth =
+    if stats.nodes >= max_nodes || stats.executions >= max_executions then
+      stats.truncated <- true
+    else begin
+      stats.nodes <- stats.nodes + 1;
+      let r = replay_path path_rev in
+      let unfinished = List.filter (fun pid -> not (r.Sim.finished pid)) pids in
+      if unfinished = [] then begin
+        stats.executions <- stats.executions + 1;
+        on_execution r
+      end
+      else if depth >= max_steps then stats.truncated <- true
+      else
+        List.iter
+          (fun pid ->
+            (* skip pids that take no step (finished mid-atom) to avoid
+               duplicate executions *)
+            let r' = replay_path (pid :: path_rev) in
+            let progressed =
+              List.length r'.Sim.log > List.length r.Sim.log
+              || r'.Sim.finished pid <> r.Sim.finished pid
+            in
+            if progressed then dfs (pid :: path_rev) (depth + 1))
+          unfinished
+    end
+  in
+  dfs [] 0;
+  stats
+
+(** [for_all setup ~pids prop] — does [prop] hold of every complete bounded
+    execution?  Returns the first counterexample if not. *)
+let for_all ?max_steps ?max_executions ?max_nodes setup ~pids
+    (prop : Sim.result -> bool) : (stats, Sim.result) result =
+  let counter = ref None in
+  let stats =
+    explore ?max_steps ?max_executions ?max_nodes setup ~pids
+      ~on_execution:(fun r ->
+        if !counter = None && not (prop r) then counter := Some r)
+  in
+  match !counter with None -> Ok stats | Some r -> Error r
+
+(** [exists setup ~pids prop] — is there a bounded execution satisfying
+    [prop]? *)
+let exists ?max_steps ?max_executions ?max_nodes setup ~pids
+    (prop : Sim.result -> bool) : Sim.result option =
+  let witness = ref None in
+  let (_ : stats) =
+    explore ?max_steps ?max_executions ?max_nodes setup ~pids
+      ~on_execution:(fun r ->
+        if !witness = None && prop r then witness := Some r)
+  in
+  !witness

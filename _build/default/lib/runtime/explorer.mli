@@ -1,0 +1,45 @@
+(** Bounded exhaustive exploration of interleavings — a small stateless
+    model checker.  Because executions replay from C0, backtracking needs
+    no snapshots: a search node is the sequence of pids stepped so far.
+
+    Used to verify properties over {e all} executions of short workloads
+    ("every interleaving of these transactions on TL is strictly
+    serializable"; "the candidate TM has an interleaving violating
+    snapshot isolation"). *)
+
+type stats = {
+  mutable executions : int;  (** complete executions enumerated *)
+  mutable nodes : int;  (** search-tree nodes (replays) *)
+  mutable truncated : bool;  (** a bound was hit before finishing *)
+}
+
+val explore :
+  ?max_steps:int ->
+  ?max_executions:int ->
+  ?max_nodes:int ->
+  Sim.setup ->
+  pids:int list ->
+  on_execution:(Sim.result -> unit) ->
+  stats
+
+val for_all :
+  ?max_steps:int ->
+  ?max_executions:int ->
+  ?max_nodes:int ->
+  Sim.setup ->
+  pids:int list ->
+  (Sim.result -> bool) ->
+  (stats, Sim.result) result
+(** Does the property hold of every complete bounded execution?  Returns
+    the first counterexample otherwise. *)
+
+val exists :
+  ?max_steps:int ->
+  ?max_executions:int ->
+  ?max_nodes:int ->
+  Sim.setup ->
+  pids:int list ->
+  (Sim.result -> bool) ->
+  Sim.result option
+(** A witness execution satisfying the property, if the bounded search
+    finds one. *)

@@ -1,0 +1,36 @@
+(* Process-side interface to the simulated shared memory.
+
+   A process is an OCaml function running under the scheduler's effect
+   handler.  Every base-object access performs the [Step] effect; the
+   scheduler applies the primitive atomically to memory, logs it, and
+   resumes the process with the response.  A step in the paper's sense is
+   therefore: one primitive + the local computation up to the next
+   primitive, executed atomically — exactly Section 3's model. *)
+
+open Tm_base
+
+type request = { oid : Oid.t; prim : Primitive.t; tid : Tid.t option }
+
+type _ Effect.t += Step : request -> Value.t Effect.t
+
+(** [access ?tid oid prim] performs one atomic step on [oid].  Must be
+    called from code running under a {!Scheduler}.  [tid] attributes the
+    step to a transaction for the access log. *)
+let access ?tid oid prim = Effect.perform (Step { oid; prim; tid })
+
+(** Convenience wrappers. *)
+let read ?tid oid = access ?tid oid Primitive.Read
+
+let write ?tid oid v =
+  ignore (access ?tid oid (Primitive.Write v))
+
+let cas ?tid oid ~expected ~desired =
+  Value.to_bool_exn (access ?tid oid (Primitive.Cas { expected; desired }))
+
+let fetch_add ?tid oid n =
+  Value.to_int_exn (access ?tid oid (Primitive.Fetch_add n))
+
+let try_lock ?tid ~pid oid =
+  Value.to_bool_exn (access ?tid oid (Primitive.Try_lock pid))
+
+let unlock ?tid ~pid oid = ignore (access ?tid oid (Primitive.Unlock pid))

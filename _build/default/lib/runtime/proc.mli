@@ -1,0 +1,28 @@
+(** Process-side interface to the simulated shared memory.
+
+    A process is an OCaml function running under a {!Scheduler}'s effect
+    handler.  Every base-object access performs the {!Step} effect; the
+    scheduler applies the primitive atomically, logs it, and resumes the
+    process with the response.  A step in the paper's sense — one
+    primitive plus the local computation up to the next one — is therefore
+    executed atomically, exactly as in Section 3's model. *)
+
+open Tm_base
+
+type request = { oid : Oid.t; prim : Primitive.t; tid : Tid.t option }
+
+type _ Effect.t += Step : request -> Value.t Effect.t
+
+val access : ?tid:Tid.t -> Oid.t -> Primitive.t -> Value.t
+(** [access ?tid oid prim] performs one atomic step on [oid].  Must be
+    called from code running under a {!Scheduler}.  [tid] attributes the
+    step to a transaction in the access log. *)
+
+(** {1 Convenience wrappers} *)
+
+val read : ?tid:Tid.t -> Oid.t -> Value.t
+val write : ?tid:Tid.t -> Oid.t -> Value.t -> unit
+val cas : ?tid:Tid.t -> Oid.t -> expected:Value.t -> desired:Value.t -> bool
+val fetch_add : ?tid:Tid.t -> Oid.t -> int -> int
+val try_lock : ?tid:Tid.t -> pid:int -> Oid.t -> bool
+val unlock : ?tid:Tid.t -> pid:int -> Oid.t -> unit

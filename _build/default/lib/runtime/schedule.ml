@@ -1,0 +1,46 @@
+(* Schedules: the adversary's scripts.  The PCL proof's executions are
+   concatenations alpha_1 . alpha_2 . s_1 . alpha_3 ... of solo segments and
+   single steps; an [atom list] expresses exactly those. *)
+
+type atom =
+  | Steps of int * int  (** [Steps (pid, n)]: at most [n] steps of [pid] *)
+  | Until_done of int  (** run [pid] solo until its program finishes *)
+
+type stop = Completed | Budget_exhausted of int | Crashed of int * exn
+
+type report = {
+  stop : stop;
+  steps_per_atom : int list;  (** steps actually taken by each atom *)
+}
+
+let pp_atom ppf = function
+  | Steps (pid, n) -> Fmt.pf ppf "p%d^%d" pid n
+  | Until_done pid -> Fmt.pf ppf "p%d*" pid
+
+let pp ppf atoms = Fmt.(list ~sep:(any " . ") pp_atom) ppf atoms
+
+(** Execute a schedule on a scheduler.  [budget] bounds each [Until_done]
+    segment (a segment that exhausts it reports [Budget_exhausted pid] and
+    stops the schedule — the liveness-failure signal). *)
+let run (sched : Scheduler.t) ?(budget = 100_000) (atoms : atom list) :
+    report =
+  let rec go acc = function
+    | [] -> { stop = Completed; steps_per_atom = List.rev acc }
+    | Steps (pid, n) :: rest ->
+        let taken = Scheduler.run_steps sched pid n in
+        (match Scheduler.crashed sched pid with
+        | Some e ->
+            { stop = Crashed (pid, e); steps_per_atom = List.rev (taken :: acc) }
+        | None -> go (taken :: acc) rest)
+    | Until_done pid :: rest -> (
+        match Scheduler.run_solo sched pid ~budget with
+        | Scheduler.Done n -> go (n :: acc) rest
+        | Scheduler.Out_of_budget ->
+            {
+              stop = Budget_exhausted pid;
+              steps_per_atom = List.rev (budget :: acc);
+            }
+        | Scheduler.Crash e ->
+            { stop = Crashed (pid, e); steps_per_atom = List.rev acc })
+  in
+  go [] atoms

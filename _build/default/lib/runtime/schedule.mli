@@ -1,0 +1,26 @@
+(** Schedules: the adversary's scripts.  The PCL proof's executions are
+    concatenations alpha1 . alpha2 . s1 . alpha3 ... of solo segments and
+    single steps; an [atom list] expresses exactly those. *)
+
+type atom =
+  | Steps of int * int  (** [Steps (pid, n)]: at most [n] steps of [pid] *)
+  | Until_done of int  (** run [pid] solo until its program finishes *)
+
+type stop =
+  | Completed
+  | Budget_exhausted of int
+      (** an [Until_done pid] segment hit the step budget — the liveness
+          failure signal *)
+  | Crashed of int * exn
+
+type report = {
+  stop : stop;
+  steps_per_atom : int list;  (** steps actually taken by each atom *)
+}
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> atom list -> unit
+
+val run : Scheduler.t -> ?budget:int -> atom list -> report
+(** Execute a schedule.  [budget] (default 100_000) bounds each
+    [Until_done] segment. *)

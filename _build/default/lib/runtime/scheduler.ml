@@ -1,0 +1,122 @@
+(* The deterministic step-granularity scheduler.
+
+   Processes are spawned as thunks; the scheduler advances a chosen process
+   by exactly one atomic step at a time.  Any execution of the paper's model
+   (solo runs, single adversarial steps, arbitrary interleavings) is a
+   sequence of [step] calls, and identical sequences produce bit-identical
+   memory states, access logs and histories. *)
+
+open Tm_base
+
+type status =
+  | Not_started of (unit -> unit)
+  | Pending of Proc.request * (Value.t, unit) Effect.Deep.continuation
+  | Stepping  (* transient marker while a continuation is running *)
+  | Finished
+  | Failed of exn
+
+type cell = { pid : int; mutable status : status }
+
+type t = { mem : Memory.t; cells : (int, cell) Hashtbl.t }
+
+let create mem = { mem; cells = Hashtbl.create 8 }
+let memory t = t.mem
+
+let spawn t ~pid f =
+  if Hashtbl.mem t.cells pid then
+    invalid_arg (Printf.sprintf "Scheduler.spawn: pid %d already exists" pid);
+  Hashtbl.replace t.cells pid { pid; status = Not_started f }
+
+let cell t pid =
+  match Hashtbl.find_opt t.cells pid with
+  | Some c -> c
+  | None ->
+      invalid_arg (Printf.sprintf "Scheduler.step: unknown pid %d" pid)
+
+let handler (c : cell) : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> c.status <- Finished);
+    exnc = (fun e -> c.status <- Failed e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Proc.Step req ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                c.status <- Pending (req, k))
+        | _ -> None);
+  }
+
+let start_if_needed (c : cell) =
+  match c.status with
+  | Not_started f ->
+      c.status <- Stepping;
+      Effect.Deep.match_with f () (handler c)
+  | _ -> ()
+
+type step_result = Stepped | Already_finished | Crashed of exn
+
+(** Advance process [pid] by one atomic step.  Starting a process runs its
+    local code up to (and including) its first primitive. *)
+let step t pid : step_result =
+  let c = cell t pid in
+  start_if_needed c;
+  match c.status with
+  | Finished -> Already_finished
+  | Failed e -> Crashed e
+  | Pending (req, k) ->
+      let resp =
+        Memory.apply t.mem ~pid ?tid:req.tid req.oid req.prim
+      in
+      c.status <- Stepping;
+      Effect.Deep.continue k resp;
+      (* the handler has updated the status to Pending/Finished/Failed *)
+      Stepped
+  | Not_started _ | Stepping -> assert false
+
+let finished t pid =
+  match (cell t pid).status with Finished -> true | _ -> false
+
+let crashed t pid =
+  match (cell t pid).status with Failed e -> Some e | _ -> None
+
+let runnable t pid =
+  match (cell t pid).status with
+  | Not_started _ | Pending _ -> true
+  | Stepping | Finished | Failed _ -> false
+
+let pids t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.cells [])
+
+(** Run [pid] for at most [n] steps; returns the number of steps taken
+    (fewer than [n] only if the process finished or crashed). *)
+let run_steps t pid n =
+  let rec go taken =
+    if taken >= n then taken
+    else
+      match step t pid with
+      | Stepped -> go (taken + 1)
+      | Already_finished | Crashed _ -> taken
+  in
+  go 0
+
+type solo_result = Done of int | Out_of_budget | Crash of exn
+
+(** Run [pid] solo until it finishes, up to [budget] steps.  [Done n] means
+    the process finished after [n] further steps.  [Out_of_budget] is how a
+    blocking TM's failure to make solo progress manifests. *)
+let run_solo t pid ~budget : solo_result =
+  let rec go taken =
+    if finished t pid then Done taken
+    else
+      match crashed t pid with
+      | Some e -> Crash e
+      | None ->
+          if taken >= budget then Out_of_budget
+          else begin
+            match step t pid with
+            | Stepped -> go (taken + 1)
+            | Already_finished -> Done taken
+            | Crashed e -> Crash e
+          end
+  in
+  go 0

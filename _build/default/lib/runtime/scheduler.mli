@@ -1,0 +1,40 @@
+(** The deterministic step-granularity scheduler.
+
+    Processes are spawned as thunks; the scheduler advances a chosen
+    process by exactly one atomic step at a time.  Any execution of the
+    paper's model — solo runs, single adversarial steps, arbitrary
+    interleavings — is a sequence of {!step} calls, and identical
+    sequences produce bit-identical memory states, logs and histories. *)
+
+open Tm_base
+
+type t
+
+val create : Memory.t -> t
+val memory : t -> Memory.t
+
+val spawn : t -> pid:int -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [pid] already exists. *)
+
+type step_result = Stepped | Already_finished | Crashed of exn
+
+val step : t -> int -> step_result
+(** Advance one process by one atomic step.  Starting a process runs its
+    local code up to and including its first primitive.
+    @raise Invalid_argument on an unknown pid. *)
+
+val finished : t -> int -> bool
+val crashed : t -> int -> exn option
+val runnable : t -> int -> bool
+val pids : t -> int list
+
+val run_steps : t -> int -> int -> int
+(** [run_steps t pid n] takes at most [n] steps of [pid]; returns how many
+    were actually taken (fewer only if the process finished or crashed). *)
+
+type solo_result = Done of int | Out_of_budget | Crash of exn
+
+val run_solo : t -> int -> budget:int -> solo_result
+(** Run a process solo until it finishes, up to [budget] steps.
+    [Out_of_budget] is how a blocking TM's failure to make solo progress
+    manifests. *)

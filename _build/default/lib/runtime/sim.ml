@@ -1,0 +1,59 @@
+(* Replay-style simulation: every execution is (re)generated from the
+   initial configuration C_0 by a schedule.  This gives the adversary
+   "configurations" for free — the configuration after a prefix is simply
+   the state reached by replaying that prefix — without having to snapshot
+   continuations. *)
+
+open Tm_base
+open Tm_trace
+
+(** A world under test: given fresh memory and a fresh history recorder,
+    set up whatever shared state is needed and return the per-process
+    programs to spawn. *)
+type setup = Memory.t -> Recorder.t -> (int * (unit -> unit)) list
+
+type result = {
+  mem : Memory.t;
+  history : History.t;
+  log : Access_log.entry list;
+  report : Schedule.report;
+  finished : int -> bool;
+  steps_of : int -> int;  (** steps taken by a pid over the whole run *)
+}
+
+let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list) :
+    result =
+  let mem = Memory.create () in
+  let recorder = Recorder.create () in
+  let programs = setup mem recorder in
+  let sched = Scheduler.create mem in
+  List.iter (fun (pid, f) -> Scheduler.spawn sched ~pid f) programs;
+  let report = Schedule.run sched ~budget atoms in
+  let log = Access_log.entries (Memory.log mem) in
+  let steps_of pid =
+    List.length (List.filter (fun e -> e.Access_log.pid = pid) log)
+  in
+  {
+    mem;
+    history = Recorder.history recorder;
+    log;
+    report;
+    finished = (fun pid -> Scheduler.finished sched pid);
+    steps_of;
+  }
+
+(** [solo_length setup pid] — number of steps [pid]'s program needs to run
+    solo from C_0 to completion, or [None] if it exceeds the budget. *)
+let solo_length ?budget (setup : setup) ~(prefix : Schedule.atom list) pid :
+    int option =
+  let r = replay ?budget setup (prefix @ [ Schedule.Until_done pid ]) in
+  match r.report.stop with
+  | Schedule.Completed ->
+      (* last atom's step count *)
+      let rec last = function
+        | [] -> None
+        | [ n ] -> Some n
+        | _ :: rest -> last rest
+      in
+      last r.report.steps_per_atom
+  | Schedule.Budget_exhausted _ | Schedule.Crashed _ -> None

@@ -1,0 +1,27 @@
+(** Replay-style simulation: every execution is (re)generated from the
+    initial configuration C0 by a schedule, so "the configuration after a
+    prefix" is simply the state reached by replaying that prefix — no
+    continuation snapshots needed. *)
+
+open Tm_base
+open Tm_trace
+
+type setup = Memory.t -> Recorder.t -> (int * (unit -> unit)) list
+(** A world under test: given fresh memory and a fresh recorder, set up
+    shared state and return the per-process programs to spawn. *)
+
+type result = {
+  mem : Memory.t;
+  history : History.t;
+  log : Access_log.entry list;
+  report : Schedule.report;
+  finished : int -> bool;
+  steps_of : int -> int;  (** steps taken by a pid over the whole run *)
+}
+
+val replay : ?budget:int -> setup -> Schedule.atom list -> result
+
+val solo_length :
+  ?budget:int -> setup -> prefix:Schedule.atom list -> int -> int option
+(** Number of steps a process needs to run solo to completion after
+    replaying [prefix], or [None] if it exceeds the budget. *)

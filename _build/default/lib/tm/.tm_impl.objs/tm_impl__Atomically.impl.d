@@ -1,0 +1,1 @@
+lib/tm/atomically.ml: Item Stdlib Tm_base Txn_api Value

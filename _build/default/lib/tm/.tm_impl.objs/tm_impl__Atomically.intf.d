@@ -1,0 +1,1 @@
+lib/tm/atomically.mli: Item Tm_base Txn_api Value

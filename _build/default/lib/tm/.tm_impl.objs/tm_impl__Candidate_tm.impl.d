@@ -1,0 +1,1 @@
+lib/tm/candidate_tm.ml: Hashtbl Item List Memory Oid Proc Tid Tm_base Tm_runtime Value

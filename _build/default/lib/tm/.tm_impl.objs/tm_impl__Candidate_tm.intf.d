@@ -1,0 +1,1 @@
+lib/tm/candidate_tm.mli: Tm_intf

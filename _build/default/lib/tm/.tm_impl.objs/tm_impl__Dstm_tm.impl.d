@@ -1,0 +1,1 @@
+lib/tm/dstm_tm.ml: Hashtbl Item List Memory Oid Printf Proc Result Tid Tm_base Tm_runtime Value

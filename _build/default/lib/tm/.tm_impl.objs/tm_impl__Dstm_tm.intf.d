@@ -1,0 +1,1 @@
+lib/tm/dstm_tm.mli: Tm_intf

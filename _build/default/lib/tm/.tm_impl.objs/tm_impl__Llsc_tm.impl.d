@@ -1,0 +1,1 @@
+lib/tm/llsc_tm.ml: Hashtbl Item List Memory Oid Primitive Proc Tid Tm_base Tm_runtime Value

@@ -1,0 +1,1 @@
+lib/tm/llsc_tm.mli: Tm_intf

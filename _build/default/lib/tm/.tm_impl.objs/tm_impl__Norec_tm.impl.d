@@ -1,0 +1,1 @@
+lib/tm/norec_tm.ml: Hashtbl Item List Memory Oid Proc Result Tid Tm_base Tm_runtime Value

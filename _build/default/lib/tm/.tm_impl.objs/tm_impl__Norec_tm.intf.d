@@ -1,0 +1,1 @@
+lib/tm/norec_tm.mli: Tm_intf

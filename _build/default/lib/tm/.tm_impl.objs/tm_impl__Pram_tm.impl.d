@@ -1,0 +1,1 @@
+lib/tm/pram_tm.ml: Hashtbl Item List Memory Tid Tm_base Value

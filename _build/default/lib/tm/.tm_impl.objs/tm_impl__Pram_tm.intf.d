@@ -1,0 +1,1 @@
+lib/tm/pram_tm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/registry.ml: Candidate_tm Dstm_tm List Llsc_tm Norec_tm Pram_tm Printf Si_tm Tl2_tm Tl_tm Tm_intf

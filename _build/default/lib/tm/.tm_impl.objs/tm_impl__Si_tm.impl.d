@@ -1,0 +1,1 @@
+lib/tm/si_tm.ml: Hashtbl Item List Memory Oid Printf Proc Tid Tm_base Tm_runtime Value

@@ -1,0 +1,1 @@
+lib/tm/si_tm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/static_txn.ml: Hashtbl Item List Tid Tm_base Txn_api Value

@@ -1,0 +1,1 @@
+lib/tm/static_txn.mli: Hashtbl Item Tid Tm_base Txn_api Value

@@ -1,0 +1,1 @@
+lib/tm/tl2_tm.mli: Tm_intf

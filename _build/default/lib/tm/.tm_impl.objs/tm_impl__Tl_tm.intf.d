@@ -1,0 +1,1 @@
+lib/tm/tl_tm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/txn_api.mli: Item Memory Recorder Tid Tm_base Tm_intf Tm_trace Value

@@ -1,0 +1,51 @@
+(* Dynamic transactions with automatic retry — the client-facing
+   combinator a real TM exposes.
+
+   [run handle ~pid body] executes [body] transactionally: on abort it
+   retries with a fresh transaction identifier (as in the restart model of
+   [Ellen et al. 12]: an aborted transaction re-executes as a new one).
+   The body is an arbitrary function over the transaction — data items may
+   be chosen dynamically from values read. *)
+
+open Tm_base
+
+exception Too_many_retries of { pid : int; attempts : int }
+
+(** A body signals its own desire to abort by returning [Retry];
+    [Done v] commits and yields [v]. *)
+type 'a outcome = Done of 'a | Retry
+
+(** [run handle ~pid ?max_attempts body] — run [body] until it commits.
+    Every attempt is a fresh transaction with a fresh id (ids must be
+    unique within a history).
+    @raise Too_many_retries after [max_attempts] (default 64) aborts. *)
+let run (handle : Txn_api.handle) ~pid ?(max_attempts = 64)
+    (body : Txn_api.txn -> 'a outcome) : 'a =
+  let rec attempt n =
+    if n > max_attempts then raise (Too_many_retries { pid; attempts = n });
+    let txn =
+      handle.Txn_api.begin_txn ~pid ~tid:(handle.Txn_api.fresh_tid ())
+    in
+    match body txn with
+    | exception Stdlib.Exit ->
+        (* the body observed an abort response mid-way *)
+        attempt (n + 1)
+    | Retry ->
+        txn.Txn_api.abort ();
+        attempt (n + 1)
+    | Done v -> (
+        match txn.Txn_api.try_commit () with
+        | Ok () -> v
+        | Error () -> attempt (n + 1))
+  in
+  attempt 0
+
+(** Read that turns an abort answer into a retry of the whole body. *)
+let read (txn : Txn_api.txn) (x : Item.t) : Value.t =
+  match txn.Txn_api.read x with Ok v -> v | Error () -> raise Stdlib.Exit
+
+(** Write that turns an abort answer into a retry of the whole body. *)
+let write (txn : Txn_api.txn) (x : Item.t) (v : Value.t) : unit =
+  match txn.Txn_api.write x v with
+  | Ok () -> ()
+  | Error () -> raise Stdlib.Exit

@@ -1,0 +1,21 @@
+(** Dynamic transactions with automatic retry — the client-facing
+    combinator: [run handle ~pid body] executes [body] transactionally,
+    retrying with a fresh transaction id on every abort (the restart
+    model).  {!read}/{!write} raise out of the body on an abort answer so
+    the whole body re-executes. *)
+
+open Tm_base
+
+exception Too_many_retries of { pid : int; attempts : int }
+
+type 'a outcome = Done of 'a | Retry
+
+val run :
+  Txn_api.handle ->
+  pid:int ->
+  ?max_attempts:int ->
+  (Txn_api.txn -> 'a outcome) ->
+  'a
+
+val read : Txn_api.txn -> Item.t -> Value.t
+val write : Txn_api.txn -> Item.t -> Value.t -> unit

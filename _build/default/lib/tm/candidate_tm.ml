@@ -1,0 +1,128 @@
+(* The candidate TM — the theorem's victim.
+
+   A natural attempt to get all three properties at once: per-item
+   versioned registers and nothing else (no clock, no status words, no
+   locks), optimistic reads, commit-time read-set validation and per-item
+   CAS write-back.
+
+     Parallelism: strict DAP — a transaction only ever touches the base
+                  objects of its own data set.
+     Liveness:    obstruction-free — the only aborts are validation or CAS
+                  failures, which can only be caused by another process's
+                  step inside the transaction's interval; running solo it
+                  always commits.
+     Consistency: by the PCL theorem it therefore CANNOT satisfy even weak
+                  adaptive consistency.  And indeed it does not: the
+                  commit write-back installs items one CAS at a time, so a
+                  concurrent reader can observe half of a commit — the PCL
+                  harness exhibits exactly the executions of Figures 3-6
+                  against it, and the weak-adaptive checker refutes the
+                  resulting histories.
+
+   Per item x: [cell:x] = VPair (value, VInt version). *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "candidate"
+let describe = "strict DAP + obstruction-free; consistency broken (the PCL victim)"
+
+type t = { cell_of : Item.t -> Oid.t }
+
+let create mem ~items =
+  let cells = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace cells x
+        (Memory.alloc mem
+           ~name:("cell:" ^ Item.name x)
+           (Value.pair Value.initial (Value.int 0))))
+    items;
+  { cell_of = (fun x -> Hashtbl.find cells x) }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  mutable rset : (Item.t * (Value.t * int)) list;
+      (* item -> value and version at first read *)
+  mutable wset : (Item.t * Value.t) list;
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid = { t; pid; tid; rset = []; wset = []; dead = false }
+
+let read_cell c x = Value.to_pair_exn (Proc.read ~tid:c.tid (c.t.cell_of x))
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let v, ver = read_cell c x in
+        if not (List.mem_assoc x c.rset) then
+          c.rset <- (x, (v, Value.to_int_exn ver)) :: c.rset;
+        Ok v
+
+let write c x v =
+  if c.dead then Error ()
+  else begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+
+let try_commit c =
+  if c.dead then Error ()
+  else begin
+    (* validate read-only items: first-read version unchanged.  A failure
+       implies an interfering step, so aborting preserves
+       obstruction-freedom.  Read-write items are enforced by the install
+       CAS below, which is pinned to the first-read state — re-reading
+       here would open a lost-update window. *)
+    let valid =
+      List.for_all
+        (fun (x, (_, ver0)) ->
+          List.mem_assoc x c.wset
+          ||
+          let _, ver = read_cell c x in
+          Value.to_int_exn ver = ver0)
+        c.rset
+    in
+    if not valid then begin
+      c.dead <- true;
+      Error ()
+    end
+    else begin
+      (* install item by item — the non-atomic MULTI-item write-back is
+         the consistency defect the theorem mandates; each single item is
+         updated atomically from its validated state *)
+      let rec install = function
+        | [] -> Ok ()
+        | (x, v) :: rest ->
+            let expected =
+              match List.assoc_opt x c.rset with
+              | Some (v0, ver0) -> Value.pair v0 (Value.int ver0)
+              | None ->
+                  let cur_v, ver = read_cell c x in
+                  Value.pair cur_v ver
+            in
+            let ver =
+              Value.to_int_exn (snd (Value.to_pair_exn expected))
+            in
+            if
+              Proc.cas ~tid:c.tid (c.t.cell_of x) ~expected
+                ~desired:(Value.pair v (Value.int (ver + 1)))
+            then install rest
+            else Error () (* contention: abort, obstruction-free *)
+      in
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> Item.compare a b) c.wset
+      in
+      let r = install sorted in
+      c.dead <- true;
+      r
+    end
+  end
+
+let abort c = c.dead <- true

@@ -1,0 +1,7 @@
+(** The candidate TM — the theorem's victim.  Per-item versioned registers
+    and nothing else: strictly DAP and obstruction-free, hence — by the
+    PCL theorem — necessarily inconsistent: the per-item CAS write-back
+    lets concurrent readers observe half of a commit, and the harness
+    exhibits the executions of Figures 3-6 against it. *)
+
+include Tm_intf.S

@@ -1,0 +1,10 @@
+(** DSTM-style obstruction-free TM [Herlihy, Luchangco, Moir & Scherer 03]
+    — a corner that weakens {e parallelism}: per-item locators point to
+    the owner's status word, and aborting an enemy CASes that word, so two
+    mutually disjoint transactions that both conflict with a third contend
+    on the third's status object (chain-style weak DAP, as in the authors'
+    DSTM variant [11]).  Obstruction-free; strictly serializable for
+    committed transactions (reads are validated on every open and acquired
+    visibly at commit). *)
+
+include Tm_intf.S

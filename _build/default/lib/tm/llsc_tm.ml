@@ -1,0 +1,104 @@
+(* The candidate TM rebuilt on load-linked/store-conditional — the same
+   doomed corner of the triangle reached through different primitives.
+   The paper's model allows base objects with any primitives; the PCL
+   theorem is primitive-agnostic, and this implementation demonstrates it:
+
+     Parallelism: strict DAP — only the items' own cells are accessed.
+     Liveness:    obstruction-free — an SC fails only because another
+                  process's step invalidated the reservation; running solo
+                  every SC succeeds.
+     Consistency: broken, exactly like {!Candidate_tm}: the commit
+                  installs items one SC at a time, so a concurrent reader
+                  can observe half of a commit.  The PCL harness finds the
+                  same Figure-5/6 violations, with s1/s2 now being SC
+                  steps instead of CASes.
+
+   Per item x: one plain register [ll:x]; reads LL it (leaving a
+   reservation that doubles as validation), commits SC it (read-write
+   items reuse the read's reservation, so lost updates are impossible on a
+   single item; read-only items are validated by an SC of the same value,
+   which makes reads visible at commit, as the paper permits). *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "llsc-candidate"
+let describe =
+  "strict DAP + obstruction-free via LL/SC; consistency broken (the \
+   primitive-agnostic victim)"
+
+type t = { cell_of : Item.t -> Oid.t }
+
+let create mem ~items =
+  let cells = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace cells x
+        (Memory.alloc mem ~name:("ll:" ^ Item.name x) Value.initial))
+    items;
+  { cell_of = (fun x -> Hashtbl.find cells x) }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  mutable rset : (Item.t * Value.t) list;  (* value at load-linked *)
+  mutable wset : (Item.t * Value.t) list;
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid = { t; pid; tid; rset = []; wset = []; dead = false }
+
+let ll c x =
+  Proc.access ~tid:c.tid (c.t.cell_of x) (Primitive.Load_linked c.pid)
+
+let sc c x v =
+  Value.to_bool_exn
+    (Proc.access ~tid:c.tid (c.t.cell_of x)
+       (Primitive.Store_conditional (c.pid, v)))
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let v = ll c x in
+        if not (List.mem_assoc x c.rset) then c.rset <- (x, v) :: c.rset;
+        Ok v
+
+let write c x v =
+  if c.dead then Error ()
+  else begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+
+let try_commit c =
+  if c.dead then Error ()
+  else begin
+    c.dead <- true;
+    (* 1. validate read-only items: SC their own value back — succeeds iff
+       nothing touched the cell since our LL *)
+    let reads_ok =
+      List.for_all
+        (fun (x, v) -> List.mem_assoc x c.wset || sc c x v)
+        c.rset
+    in
+    if not reads_ok then Error ()
+    else begin
+      (* 2. install the write set one SC at a time (the torn write-back);
+         read-write items reuse the read's reservation, write-only items
+         take a fresh LL immediately before their SC *)
+      let rec install = function
+        | [] -> Ok ()
+        | (x, v) :: rest ->
+            if not (List.mem_assoc x c.rset) then ignore (ll c x);
+            if sc c x v then install rest
+            else Error () (* someone interfered: abort, obstruction-free *)
+      in
+      install (List.sort (fun (a, _) (b, _) -> Item.compare a b) c.wset)
+    end
+  end
+
+let abort c = c.dead <- true

@@ -1,0 +1,6 @@
+(** The candidate TM rebuilt on load-linked/store-conditional: the same
+    doomed triangle corner (strict DAP + obstruction-free, consistency
+    necessarily broken) reached through different primitives — the PCL
+    theorem is primitive-agnostic. *)
+
+include Tm_intf.S

@@ -1,0 +1,6 @@
+(** NOrec [Dalessandro, Spear & Scott 10]: one global sequence lock and
+    value-based revalidation — opacity from minimal metadata, at the price
+    of both other legs: every transaction contends on the sequence word
+    (not DAP) and spins while a writer is writing back (blocking). *)
+
+include Tm_intf.S

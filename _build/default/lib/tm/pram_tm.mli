@@ -1,0 +1,7 @@
+(** The trivial unsynchronized TM — the paper's Section-5 witness that
+    weakening {e consistency} to PRAM makes the other two properties
+    achievable: strict DAP (vacuously — no shared base object is ever
+    accessed) and wait-freedom, with each process seeing only its own
+    committed writes. *)
+
+include Tm_intf.S

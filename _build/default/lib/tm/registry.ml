@@ -1,0 +1,25 @@
+(* All TM implementations, one per corner of the paper's triangle plus the
+   candidate the theorem kills. *)
+
+let all : Tm_intf.impl list =
+  [
+    (module Tl_tm);
+    (module Pram_tm);
+    (module Dstm_tm);
+    (module Si_tm);
+    (module Candidate_tm);
+    (module Tl2_tm);
+    (module Norec_tm);
+    (module Llsc_tm);
+  ]
+
+let name (module M : Tm_intf.S) = M.name
+let describe (module M : Tm_intf.S) = M.describe
+
+let find n : Tm_intf.impl option =
+  List.find_opt (fun (module M : Tm_intf.S) -> M.name = n) all
+
+let find_exn n =
+  match find n with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Registry.find_exn: %s" n)

@@ -1,0 +1,8 @@
+(** All TM implementations: one per corner of the paper's triangle, the
+    candidate the theorem kills, and the TL2 ablation. *)
+
+val all : Tm_intf.impl list
+val name : Tm_intf.impl -> string
+val describe : Tm_intf.impl -> string
+val find : string -> Tm_intf.impl option
+val find_exn : string -> Tm_intf.impl

@@ -1,0 +1,165 @@
+(* Global-clock multiversion snapshot isolation, after SI-STM [Riegel,
+   Fetzer & Felber 06] — the other corner that weakens *parallelism*:
+
+     Parallelism: NOT disjoint-access-parallel in any variant: every
+                  transaction reads the global clock and every committing
+                  writer fetch&adds it, so even fully disjoint transactions
+                  contend on the clock (exactly the paper's remark about
+                  SI-STM, Section 2).
+     Consistency: snapshot isolation (the paper's weak Def. 3.1 — no
+                  first-committer-wins rule: concurrent writers to the same
+                  item may both commit).
+     Liveness:    obstruction-free — installs retry only when an
+                  interfering step changed the version list; commits never
+                  fail.
+
+   Objects: [clock] = VInt; per item [ver:x] = VList of version entries
+   VList [VInt owner; VInt ts; value].  A pending entry carries the oid of
+   its owner's commit record [sic:T] = VPair (VInt state, VInt ts); all of
+   a transaction's versions become visible atomically when that record is
+   CASed to committed, which closes the torn-snapshot race of naive
+   install-then-publish designs.
+
+   Commit protocol: install all pending entries (state 0, invisible), seal
+   the record (state 3), fetch&add the clock, publish (state 1 with the
+   timestamp).  A reader that meets a sealed record *helps*: it fetch&adds
+   the clock itself and tries to publish on the owner's behalf, so
+   resolution is non-blocking even if the committer is suspended between
+   its last two steps. *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "si-clock"
+let describe = "snapshot isolation + obstruction-free, no DAP (weakens P)"
+
+type t = { mem : Memory.t; clock : Oid.t; ver_of : Item.t -> Oid.t }
+
+let create mem ~items =
+  let clock = Memory.alloc mem ~name:"clock" (Value.int 0) in
+  let vers = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace vers x
+        (Memory.alloc mem
+           ~name:("ver:" ^ Item.name x)
+           (Value.list
+              [ Value.list [ Value.int (-1); Value.int 0; Value.initial ] ])))
+    items;
+  { mem; clock; ver_of = (fun x -> Hashtbl.find vers x) }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  snap : int;  (* snapshot timestamp taken at begin *)
+  record : Oid.t;  (* commit record *)
+  mutable wset : (Item.t * Value.t) list;
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid =
+  let record =
+    Memory.alloc t.mem
+      ~name:(Printf.sprintf "sic:%s" (Tid.name tid))
+      (Value.pair (Value.int 0) (Value.int (-1)))
+  in
+  let snap = Value.to_int_exn (Proc.read ~tid t.clock) in
+  { t; pid; tid; snap; record; wset = []; dead = false }
+
+let decode_entry = function
+  | Value.VList [ Value.VInt owner; Value.VInt ts; v ] -> (owner, ts, v)
+  | _ -> invalid_arg "si: bad version entry"
+
+(* commit timestamp of an entry: immediate for committed-at-creation
+   entries, read from the owner's commit record for pending ones.  A
+   sealed record (state 3) is helped to completion. *)
+let rec entry_ts c ((owner, ts, _v) as e) =
+  if owner = -1 then Some ts
+  else
+    match Proc.read ~tid:c.tid (Oid.of_int owner) with
+    | Value.VPair (Value.VInt 1, Value.VInt cts) -> Some cts
+    | Value.VPair (Value.VInt 3, _) ->
+        let hts = 1 + Proc.fetch_add ~tid:c.tid c.t.clock 1 in
+        ignore
+          (Proc.cas ~tid:c.tid (Oid.of_int owner)
+             ~expected:(Value.pair (Value.int 3) (Value.int (-1)))
+             ~desired:(Value.pair (Value.int 1) (Value.int hts)));
+        entry_ts c e
+    | _ -> None (* owner still active: invisible *)
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let entries =
+          List.map decode_entry
+            (Value.to_list_exn (Proc.read ~tid:c.tid (c.t.ver_of x)))
+        in
+        (* newest visible version with ts <= snapshot *)
+        let best =
+          List.fold_left
+            (fun acc e ->
+              match entry_ts c e with
+              | Some ts when ts <= c.snap -> (
+                  let _, _, v = e in
+                  match acc with
+                  | Some (ts', _) when ts' >= ts -> acc
+                  | _ -> Some (ts, v))
+              | _ -> acc)
+            None entries
+        in
+        Ok (match best with Some (_, v) -> v | None -> Value.initial)
+
+let write c x v =
+  if c.dead then Error ()
+  else begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+
+let max_versions = 8
+
+let rec install c x v =
+  let oid = c.t.ver_of x in
+  let cur = Proc.read ~tid:c.tid oid in
+  let entries = Value.to_list_exn cur in
+  let entry =
+    Value.list [ Value.int (Oid.to_int c.record); Value.int (-1); v ]
+  in
+  let keep =
+    if List.length entries >= max_versions then
+      List.filteri (fun i _ -> i < max_versions - 1) entries
+    else entries
+  in
+  if
+    Proc.cas ~tid:c.tid oid ~expected:cur
+      ~desired:(Value.list (entry :: keep))
+  then ()
+  else install c x v (* interfering step: retry, obstruction-free *)
+
+let try_commit c =
+  if c.dead then Error ()
+  else begin
+    if c.wset <> [] then begin
+      List.iter (fun (x, v) -> install c x v) (List.rev c.wset);
+      (* seal: from here on helpers may finish the publish for us *)
+      ignore
+        (Proc.cas ~tid:c.tid c.record
+           ~expected:(Value.pair (Value.int 0) (Value.int (-1)))
+           ~desired:(Value.pair (Value.int 3) (Value.int (-1))));
+      let ts = 1 + Proc.fetch_add ~tid:c.tid c.t.clock 1 in
+      (* publish atomically: every pending version becomes visible here
+         (the CAS fails harmlessly if a helper already published) *)
+      ignore
+        (Proc.cas ~tid:c.tid c.record
+           ~expected:(Value.pair (Value.int 3) (Value.int (-1)))
+           ~desired:(Value.pair (Value.int 1) (Value.int ts)))
+    end;
+    c.dead <- true;
+    Ok ()
+  end
+
+let abort c = c.dead <- true

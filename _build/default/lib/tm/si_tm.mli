@@ -1,0 +1,9 @@
+(** Global-clock multiversion snapshot isolation, after SI-STM [Riegel,
+    Fetzer & Felber 06] — the other corner that weakens {e parallelism}:
+    every transaction reads the global clock and every committing writer
+    fetch&adds it, so even fully disjoint transactions contend (the
+    paper's Section-2 remark about SI-STM).  Satisfies the paper's weak
+    Def. 3.1 (no first-committer-wins); obstruction-free, with reader
+    helping for suspended committers. *)
+
+include Tm_intf.S

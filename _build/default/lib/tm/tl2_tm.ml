@@ -1,0 +1,142 @@
+(* TL2-style global-version-clock TM [Dice, Shalev & Shavit 06] — included
+   as the *ablation* of the candidate TM: keep its per-item versioned
+   registers and optimistic reads, add one global object (the version
+   clock) and commit-time locking, and consistency is repaired (opacity)
+   at the price of BOTH remaining legs:
+
+     Parallelism: NOT DAP — every transaction reads the clock at begin and
+                  every committing writer fetch&adds it, so fully disjoint
+                  transactions contend.
+     Consistency: opacity — reads are version-filtered against the begin
+                  snapshot (ver <= rv, unlocked), and commits lock the
+                  write set, re-validate the read set under those locks,
+                  and install with a fresh clock value.
+     Liveness:    blocking — commit spins on the per-item lock words, and
+                  readers abort when they meet a locked or too-new item.
+
+   Per item x: one object [tv:x] = VList [VInt owner; value; VInt version]
+   where owner = -1 when unlocked (lock word, value and version share one
+   object so that reads and installs are single atomic steps). *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "tl2-clock"
+let describe = "opacity via a global clock; neither DAP nor non-blocking (ablation)"
+
+type t = { gv : Oid.t; cell_of : Item.t -> Oid.t }
+
+let create mem ~items =
+  let gv = Memory.alloc mem ~name:"gv" (Value.int 0) in
+  let cells = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace cells x
+        (Memory.alloc mem
+           ~name:("tv:" ^ Item.name x)
+           (Value.list [ Value.int (-1); Value.initial; Value.int 0 ])))
+    items;
+  { gv; cell_of = (fun x -> Hashtbl.find cells x) }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  rv : int;  (* read version: clock snapshot at begin *)
+  mutable rset : Item.t list;
+  mutable wset : (Item.t * Value.t) list;
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid =
+  let rv = Value.to_int_exn (Proc.read ~tid t.gv) in
+  { t; pid; tid; rv; rset = []; wset = []; dead = false }
+
+let decode = function
+  | Value.VList [ Value.VInt owner; v; Value.VInt ver ] -> (owner, v, ver)
+  | _ -> invalid_arg "tl2: bad cell"
+
+let encode owner v ver = Value.list [ Value.int owner; v; Value.int ver ]
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let owner, v, ver = decode (Proc.read ~tid:c.tid (c.t.cell_of x)) in
+        if owner <> -1 || ver > c.rv then begin
+          (* locked by a committer, or written after our snapshot: the
+             snapshot cannot be extended — abort (TL2's read filter) *)
+          c.dead <- true;
+          Error ()
+        end
+        else begin
+          if not (List.mem x c.rset) then c.rset <- x :: c.rset;
+          Ok v
+        end
+
+let write c x v =
+  if c.dead then Error ()
+  else begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+
+let try_commit c =
+  if c.dead then Error ()
+  else begin
+    c.dead <- true;
+    if c.wset = [] then Ok () (* read-only fast path, as in TL2 *)
+    else begin
+      let items = List.sort Item.compare (List.map fst c.wset) in
+      (* lock the write set in item order (spin: the blocking part) *)
+      let rec lock_all held = function
+        | [] -> held
+        | x :: rest ->
+            let oid = c.t.cell_of x in
+            let cur = Proc.read ~tid:c.tid oid in
+            let owner, v, ver = decode cur in
+            if owner <> -1 then lock_all held (x :: rest) (* spin *)
+            else if
+              Proc.cas ~tid:c.tid oid ~expected:cur
+                ~desired:(encode c.pid v ver)
+            then lock_all ((x, v, ver) :: held) rest
+            else lock_all held (x :: rest)
+      in
+      let held = lock_all [] items in
+      let release () =
+        List.iter
+          (fun (x, v, ver) ->
+            Proc.write ~tid:c.tid (c.t.cell_of x) (encode (-1) v ver))
+          held
+      in
+      (* fresh write version *)
+      let wv = 1 + Proc.fetch_add ~tid:c.tid c.t.gv 1 in
+      (* validate the read set under the locks.  Items we also write are
+         locked by us and validate by version alone — skipping them would
+         re-admit the lost update. *)
+      let valid =
+        List.for_all
+          (fun x ->
+            let owner, _, ver = decode (Proc.read ~tid:c.tid (c.t.cell_of x)) in
+            (owner = -1 || owner = c.pid) && ver <= c.rv)
+          c.rset
+      in
+      if not valid then begin
+        release ();
+        Error ()
+      end
+      else begin
+        (* install and unlock in one atomic write per item *)
+        List.iter
+          (fun (x, _, _) ->
+            let v = List.assoc x c.wset in
+            Proc.write ~tid:c.tid (c.t.cell_of x) (encode (-1) v wv))
+          held;
+        Ok ()
+      end
+    end
+  end
+
+let abort c = c.dead <- true

@@ -1,0 +1,7 @@
+(** TL2-style global-version-clock TM [Dice, Shalev & Shavit 06] — the
+    ablation of the candidate TM: adding one global object (the version
+    clock) and commit-time locking repairs consistency (opacity) at the
+    price of both remaining legs — not DAP (clock contention) and blocking
+    (lock spins, and readers abort solo against a suspended committer). *)
+
+include Tm_intf.S

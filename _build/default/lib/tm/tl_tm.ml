@@ -1,0 +1,127 @@
+(* TL-style lock-based TM [Dice & Shavit 06], the paper's witness that
+   weakening *liveness* makes the other two properties achievable:
+
+     Parallelism: strict DAP — only per-item base objects are touched.
+     Consistency: strict serializability — commit-time locking of the
+                  read AND write sets (in item order, so commits never
+                  deadlock) plus version validation of the read set.
+                  Locking the read set closes the validate-to-install
+                  window through which a conflicting writer could
+                  otherwise slip (the race that motivated TL2's global
+                  clock; here read locks keep the TM strictly DAP).
+     Liveness:    blocking — commit spins on per-item locks, so a
+                  suspended lock holder stalls everyone conflicting.
+
+   Per item x: a lock object [lock:x] and a versioned value [val:x]
+   holding VPair (value, VInt version). *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "tl-lock"
+let describe = "strict DAP + strict serializability, blocking (weakens L)"
+
+type t = {
+  val_of : Item.t -> Oid.t;
+  lock_of : Item.t -> Oid.t;
+}
+
+let create mem ~items =
+  let vals = Hashtbl.create 16 and locks = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace vals x
+        (Memory.alloc mem
+           ~name:("val:" ^ Item.name x)
+           (Value.pair Value.initial (Value.int 0)));
+      Hashtbl.replace locks x
+        (Memory.alloc mem ~name:("lock:" ^ Item.name x) Value.unit))
+    items;
+  {
+    val_of = (fun x -> Hashtbl.find vals x);
+    lock_of = (fun x -> Hashtbl.find locks x);
+  }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  mutable rset : (Item.t * int) list;  (* item, version at first read *)
+  mutable wset : (Item.t * Value.t) list;  (* newest binding first *)
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid = { t; pid; tid; rset = []; wset = []; dead = false }
+
+let read_cell c x =
+  Value.to_pair_exn (Proc.read ~tid:c.tid (c.t.val_of x))
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let v, ver = read_cell c x in
+        let ver = Value.to_int_exn ver in
+        if not (List.mem_assoc x c.rset) then c.rset <- (x, ver) :: c.rset;
+        Ok v
+
+let write c x v =
+  if c.dead then Error ()
+  else begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+
+let write_items c = List.sort Item.compare (List.map fst c.wset)
+
+(* every item the commit must lock: read set union write set, in item
+   order so that concurrent commits never deadlock *)
+let lock_items c =
+  List.sort_uniq Item.compare (List.map fst c.wset @ List.map fst c.rset)
+
+let release c held =
+  List.iter (fun x -> Proc.unlock ~tid:c.tid ~pid:c.pid (c.t.lock_of x)) held
+
+let try_commit c =
+  if c.dead then Error ()
+  else begin
+    (* acquire read+write locks in item order; spin — the blocking part *)
+    let rec acquire held = function
+      | [] -> held
+      | x :: rest ->
+          if Proc.try_lock ~tid:c.tid ~pid:c.pid (c.t.lock_of x) then
+            acquire (x :: held) rest
+          else acquire held (x :: rest)
+    in
+    let held = acquire [] (lock_items c) in
+    (* validate the read set: versions unchanged since first read *)
+    let valid =
+      List.for_all
+        (fun (x, ver0) ->
+          let _, ver = read_cell c x in
+          Value.to_int_exn ver = ver0)
+        c.rset
+    in
+    if not valid then begin
+      release c held;
+      c.dead <- true;
+      Error ()
+    end
+    else begin
+      (* write back, then release everything *)
+      List.iter
+        (fun x ->
+          let v = List.assoc x c.wset in
+          let _, ver = read_cell c x in
+          Proc.write ~tid:c.tid (c.t.val_of x)
+            (Value.pair v (Value.int (Value.to_int_exn ver + 1))))
+        (write_items c);
+      release c held;
+      c.dead <- true;
+      Ok ()
+    end
+  end
+
+let abort c = c.dead <- true

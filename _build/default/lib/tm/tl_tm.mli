@@ -1,0 +1,7 @@
+(** TL-style lock-based TM [Dice & Shavit 06] — the paper's witness that
+    weakening {e liveness} makes the other two properties achievable:
+    strict DAP (only per-item objects are touched) and strict
+    serializability (commit-time locking of the read and write sets in
+    item order, plus version validation), at the price of blocking. *)
+
+include Tm_intf.S

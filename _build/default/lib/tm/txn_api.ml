@@ -1,0 +1,86 @@
+(* The client-facing API: a TM instance packaged as closures, with every
+   transactional routine recorded as invocation/response events in a
+   history (the paper's H_alpha).  This is the single place where histories
+   are produced, so every TM is instrumented identically. *)
+
+open Tm_base
+open Tm_trace
+
+type txn = {
+  tid : Tid.t;
+  pid : int;
+  read : Item.t -> (Value.t, unit) result;
+  write : Item.t -> Value.t -> (unit, unit) result;
+  try_commit : unit -> (unit, unit) result;
+  abort : unit -> unit;
+}
+
+type handle = {
+  tm_name : string;
+  begin_txn : pid:int -> tid:Tid.t -> txn;
+  fresh_tid : unit -> Tid.t;
+      (** unique transaction ids for retry loops; deterministic per handle
+          (and therefore per replay) *)
+}
+
+(** Instantiate a TM implementation over [mem], recording all events into
+    [recorder].  The event timestamps are the global step counts, placing
+    history events on the same axis as access-log steps. *)
+let instantiate (module M : Tm_intf.S) (mem : Memory.t)
+    (recorder : Recorder.t) ~(items : Item.t list) : handle =
+  let t = M.create mem ~items in
+  let now () = Memory.step_count mem in
+  let tid_counter = ref 0 in
+  let fresh_tid () =
+    incr tid_counter;
+    Tid.v (50_000 + !tid_counter)
+  in
+  let begin_txn ~pid ~tid =
+    Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Begin;
+    let ctx = M.begin_txn t ~pid ~tid in
+    Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Begin Event.R_ok;
+    let read x =
+      Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Read x);
+      match M.read ctx x with
+      | Ok v ->
+          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
+            (Event.R_value v);
+          Ok v
+      | Error () ->
+          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
+            Event.R_aborted;
+          Error ()
+    in
+    let write x v =
+      Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v));
+      match M.write ctx x v with
+      | Ok () ->
+          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
+            Event.R_ok;
+          Ok ()
+      | Error () ->
+          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
+            Event.R_aborted;
+          Error ()
+    in
+    let try_commit () =
+      Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Try_commit;
+      match M.try_commit ctx with
+      | Ok () ->
+          Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Try_commit
+            Event.R_committed;
+          Ok ()
+      | Error () ->
+          Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Try_commit
+            Event.R_aborted;
+          Error ()
+    in
+    let abort () =
+      Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Abort_call;
+      M.abort ctx;
+      Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Abort_call
+        Event.R_aborted
+    in
+    { tid; pid; read; write; try_commit; abort }
+  in
+  { tm_name = M.name; begin_txn; fresh_tid }

@@ -1,0 +1,27 @@
+(** The client-facing API: a TM instance packaged as closures, with every
+    transactional routine recorded as invocation/response events — the
+    single place histories are produced, so every TM is instrumented
+    identically. *)
+
+open Tm_base
+open Tm_trace
+
+type txn = {
+  tid : Tid.t;
+  pid : int;
+  read : Item.t -> (Value.t, unit) result;
+  write : Item.t -> Value.t -> (unit, unit) result;
+  try_commit : unit -> (unit, unit) result;
+  abort : unit -> unit;
+}
+
+type handle = {
+  tm_name : string;
+  begin_txn : pid:int -> tid:Tid.t -> txn;
+  fresh_tid : unit -> Tid.t;
+      (** unique transaction ids for retry loops; deterministic per handle
+          (and therefore per replay) *)
+}
+
+val instantiate :
+  Tm_intf.impl -> Memory.t -> Recorder.t -> items:Item.t list -> handle

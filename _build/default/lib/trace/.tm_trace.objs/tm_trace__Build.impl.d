@@ -1,0 +1,1 @@
+lib/trace/build.pp.ml: Event Hashtbl History Item List Printf Tid Tm_base Value

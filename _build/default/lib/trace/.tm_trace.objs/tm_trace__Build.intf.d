@@ -1,0 +1,1 @@
+lib/trace/build.pp.mli: History Tm_base Value

@@ -1,0 +1,1 @@
+lib/trace/event.pp.ml: Fmt Item Ppx_deriving_runtime Tid Tm_base Value

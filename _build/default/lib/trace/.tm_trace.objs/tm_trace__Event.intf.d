@@ -1,0 +1,1 @@
+lib/trace/event.pp.mli: Format Item Tid Tm_base Value

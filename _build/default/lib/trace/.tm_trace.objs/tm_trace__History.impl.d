@@ -1,0 +1,1 @@
+lib/trace/history.pp.ml: Array Event Fmt Hashtbl Item List Option Ppx_deriving_runtime Result Tid Tm_base Value

@@ -1,0 +1,1 @@
+lib/trace/history.pp.mli: Event Format Item Tid Tm_base Value

@@ -1,0 +1,1 @@
+lib/trace/legality.pp.ml: Event Fmt Hashtbl History Item List Result Tid Tm_base Value

@@ -1,0 +1,1 @@
+lib/trace/legality.pp.mli: Format History Item Tid Tm_base Value

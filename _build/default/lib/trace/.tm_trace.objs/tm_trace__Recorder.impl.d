@@ -1,0 +1,1 @@
+lib/trace/recorder.pp.ml: Event History List Tid Tm_base

@@ -1,0 +1,1 @@
+lib/trace/recorder.pp.mli: Event History Tid Tm_base

@@ -1,0 +1,1 @@
+lib/trace/wire.pp.ml: Buffer Event Hashtbl History Item List Printf String Tid Tm_base Value

@@ -1,0 +1,1 @@
+lib/trace/wire.pp.mli: Event History

@@ -1,0 +1,61 @@
+(* A tiny DSL for writing histories by hand — used by tests, the anomaly
+   catalogue, and the qcheck generators.  Each instruction expands to an
+   invocation/response pair; concurrency is expressed by interleaving
+   instructions of different transactions. *)
+
+open Tm_base
+
+type instr =
+  | B of int * int  (** [B (tid, pid)] — begin . ok *)
+  | R of int * string * int  (** read returning an int value *)
+  | Rv of int * string * Value.t  (** read returning an arbitrary value *)
+  | W of int * string * int  (** write of an int value . ok *)
+  | Wv of int * string * Value.t
+  | Ra of int * string  (** read invocation answered A_T *)
+  | Wa of int * string * int  (** write invocation answered A_T *)
+  | C of int  (** commit . C_T *)
+  | Ca of int  (** commit . A_T *)
+  | Cp of int  (** commit invocation only — commit-pending *)
+  | A of int  (** abort_T . A_T *)
+
+let history (instrs : instr list) : History.t =
+  let pid_of = Hashtbl.create 8 in
+  let at = ref 0 in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let emit tid op responses =
+    let pid =
+      match Hashtbl.find_opt pid_of tid with
+      | Some p -> p
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Build.history: T%d used before B" tid)
+    in
+    push (Event.Inv { tid = Tid.v tid; pid; op; at = !at });
+    incr at;
+    List.iter
+      (fun resp ->
+        push (Event.Resp { tid = Tid.v tid; pid; op; resp; at = !at });
+        incr at)
+      responses
+  in
+  let step = function
+    | B (tid, pid) ->
+        Hashtbl.replace pid_of tid pid;
+        emit tid Event.Begin [ Event.R_ok ]
+    | R (tid, x, v) ->
+        emit tid (Event.Read (Item.v x)) [ Event.R_value (Value.int v) ]
+    | Rv (tid, x, v) -> emit tid (Event.Read (Item.v x)) [ Event.R_value v ]
+    | W (tid, x, v) ->
+        emit tid (Event.Write (Item.v x, Value.int v)) [ Event.R_ok ]
+    | Wv (tid, x, v) -> emit tid (Event.Write (Item.v x, v)) [ Event.R_ok ]
+    | Ra (tid, x) -> emit tid (Event.Read (Item.v x)) [ Event.R_aborted ]
+    | Wa (tid, x, v) ->
+        emit tid (Event.Write (Item.v x, Value.int v)) [ Event.R_aborted ]
+    | C tid -> emit tid Event.Try_commit [ Event.R_committed ]
+    | Ca tid -> emit tid Event.Try_commit [ Event.R_aborted ]
+    | Cp tid -> emit tid Event.Try_commit []
+    | A tid -> emit tid Event.Abort_call [ Event.R_aborted ]
+  in
+  List.iter step instrs;
+  History.of_list (List.rev !events)

@@ -1,0 +1,31 @@
+(** A tiny DSL for writing histories by hand — used by tests, the anomaly
+    catalogue and the generators.  Each instruction expands to an
+    invocation/response pair; concurrency is expressed by interleaving
+    instructions of different transactions.
+
+    Example (a lost update):
+    {[
+      Build.history
+        [ B (1, 1); B (2, 2);
+          R (1, "x", 0); R (2, "x", 0);
+          W (1, "x", 1); W (2, "x", 2);
+          C 1; C 2 ]
+    ]} *)
+
+open Tm_base
+
+type instr =
+  | B of int * int  (** [B (tid, pid)] — begin . ok *)
+  | R of int * string * int  (** read returning an int value *)
+  | Rv of int * string * Value.t  (** read returning an arbitrary value *)
+  | W of int * string * int  (** write of an int value . ok *)
+  | Wv of int * string * Value.t
+  | Ra of int * string  (** read invocation answered A_T *)
+  | Wa of int * string * int  (** write invocation answered A_T *)
+  | C of int  (** commit . C_T *)
+  | Ca of int  (** commit . A_T *)
+  | Cp of int  (** commit invocation only — commit-pending *)
+  | A of int  (** abort_T . A_T *)
+
+val history : instr list -> History.t
+(** @raise Invalid_argument if a transaction is used before its [B]. *)

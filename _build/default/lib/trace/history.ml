@@ -1,0 +1,312 @@
+(* Histories (Section 3): sequences of invocations and responses performed
+   by transactions, with the derived notions used throughout the paper —
+   well-formedness, H|T, transaction status, the precedence relation, and
+   the read/write projections that the consistency definitions build on. *)
+
+open Tm_base
+
+type t = { events : Event.t array }
+
+let of_list events = { events = Array.of_list events }
+let to_list t = Array.to_list t.events
+let events = to_list
+let length t = Array.length t.events
+let get t i = t.events.(i)
+let is_empty t = Array.length t.events = 0
+
+let append t evs = { events = Array.append t.events (Array.of_list evs) }
+
+(* ------------------------------------------------------------------ *)
+(* Projections *)
+
+(** [per_txn t tid] is the paper's H|T: the longest subsequence consisting
+    only of events of [tid]. *)
+let per_txn t tid =
+  List.filter (fun e -> Tid.equal (Event.tid e) tid) (to_list t)
+
+let by_pid t pid = List.filter (fun e -> Event.pid e = pid) (to_list t)
+
+(** Transactions appearing in the history, ordered by first event. *)
+let txns t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      let tid = Event.tid e in
+      if not (Hashtbl.mem seen tid) then begin
+        Hashtbl.add seen tid ();
+        acc := tid :: !acc
+      end)
+    t.events;
+  List.rev !acc
+
+let pids t =
+  List.sort_uniq compare (List.map Event.pid (to_list t))
+
+let pid_of_txn t tid =
+  match per_txn t tid with
+  | [] -> None
+  | e :: _ -> Some (Event.pid e)
+
+(* ------------------------------------------------------------------ *)
+(* Status *)
+
+type status = Committed | Aborted | Commit_pending | Live
+[@@deriving show { with_path = false }, eq]
+
+let status t tid =
+  let rec last_two acc = function
+    | [] -> acc
+    | e :: rest -> last_two (Some e) rest
+  in
+  match per_txn t tid with
+  | [] -> Live
+  | evs -> (
+      match last_two None evs with
+      | Some (Event.Resp { resp = Event.R_committed; _ }) -> Committed
+      | Some (Event.Resp { resp = Event.R_aborted; _ }) -> Aborted
+      | Some (Event.Inv { op = Event.Try_commit; _ }) -> Commit_pending
+      | Some _ | None -> Live)
+
+let committed t tid = equal_status (status t tid) Committed
+let aborted t tid = equal_status (status t tid) Aborted
+let commit_pending t tid = equal_status (status t tid) Commit_pending
+
+(** Live in the paper's sense: neither committed nor aborted (so
+    commit-pending transactions are live). *)
+let live t tid =
+  match status t tid with
+  | Committed | Aborted -> false
+  | Commit_pending | Live -> true
+
+let complete t = List.for_all (fun tid -> not (live t tid)) (txns t)
+
+(* ------------------------------------------------------------------ *)
+(* Positions and ordering *)
+
+let positions_of_txn t tid =
+  let first = ref (-1) and last = ref (-1) in
+  Array.iteri
+    (fun i e ->
+      if Tid.equal (Event.tid e) tid then begin
+        if !first < 0 then first := i;
+        last := i
+      end)
+    t.events;
+  if !first < 0 then None else Some (!first, !last)
+
+let first_pos t tid = Option.map fst (positions_of_txn t tid)
+let last_pos t tid = Option.map snd (positions_of_txn t tid)
+
+let begin_pos t tid =
+  let n = Array.length t.events in
+  let rec find i =
+    if i >= n then None
+    else
+      match t.events.(i) with
+      | Event.Inv { tid = tid'; op = Event.Begin; _ }
+        when Tid.equal tid' tid ->
+          Some i
+      | _ -> find (i + 1)
+  in
+  find 0
+
+(** Transactions ordered by the position of their begin invocation —
+    the axis on which consistency partitions (Def. 3.3) are built. *)
+let begin_order t =
+  let tids = txns t in
+  let key tid =
+    match begin_pos t tid with Some i -> i | None -> max_int
+  in
+  List.sort (fun a b -> compare (key a) (key b)) tids
+
+(** The paper's T1 <alpha T2: T1 is not live and its completion event
+    precedes T2's begin invocation. *)
+let precedes t t1 t2 =
+  if live t t1 then false
+  else
+    match (last_pos t t1, begin_pos t t2) with
+    | Some l1, Some b2 -> l1 < b2
+    | _ -> false
+
+let concurrent t t1 t2 =
+  (not (Tid.equal t1 t2)) && (not (precedes t t1 t2))
+  && not (precedes t t2 t1)
+
+let sequential t =
+  let tids = txns t in
+  let rec pairs = function
+    | [] -> true
+    | x :: rest ->
+        List.for_all (fun y -> not (concurrent t x y)) rest && pairs rest
+  in
+  pairs tids
+
+(* ------------------------------------------------------------------ *)
+(* Read/write projections used by the consistency definitions *)
+
+type read = {
+  item : Item.t;
+  value : Value.t;
+  global : bool;
+      (** true iff the transaction had not written the item before invoking
+          the read (Section 3, "Consistency") *)
+  pos : int;  (** position of the response event in the history *)
+}
+
+(** Successful reads of [tid] in order, classified global/local. *)
+let reads t tid =
+  let written = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Event.Inv { tid = tid'; op = Event.Write (x, _); _ }
+        when Tid.equal tid' tid ->
+          Hashtbl.replace written x ()
+      | Event.Resp
+          { tid = tid'; op = Event.Read x; resp = Event.R_value v; _ }
+        when Tid.equal tid' tid ->
+          let global = not (Hashtbl.mem written x) in
+          acc := { item = x; value = v; global; pos = i } :: !acc
+      | _ -> ())
+    t.events;
+  List.rev !acc
+
+let global_reads t tid =
+  List.filter_map
+    (fun r -> if r.global then Some (r.item, r.value) else None)
+    (reads t tid)
+
+(** Successful writes of [tid] in order — the paper's T|write. *)
+let writes t tid =
+  let pending = ref None in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Event.Inv { tid = tid'; op = Event.Write (x, v); _ }
+        when Tid.equal tid' tid ->
+          pending := Some (x, v)
+      | Event.Resp { tid = tid'; op = Event.Write _; resp = Event.R_ok; _ }
+        when Tid.equal tid' tid -> (
+          match !pending with
+          | Some wv ->
+              acc := wv :: !acc;
+              pending := None
+          | None -> ())
+      | _ -> ())
+    t.events;
+  List.rev !acc
+
+let write_set t tid = Item.set_of_list (List.map fst (writes t tid))
+
+let read_set t tid =
+  Item.set_of_list (List.map (fun r -> r.item) (reads t tid))
+
+(** [writes_to_common_item t t1 t2]: do both transactions successfully write
+    some common data item?  (Used by conditions 1b / 2 of Defs 3.2/3.3.) *)
+let writes_to_common_item t t1 t2 =
+  not (Item.Set.is_empty (Item.Set.inter (write_set t t1) (write_set t t2)))
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness (Section 3, conditions (i)-(vi)) *)
+
+let well_formed t : (unit, string) result =
+  let err tid fmt = Fmt.kstr (fun s -> Error (Tid.name tid ^ ": " ^ s)) fmt in
+  let check_txn tid =
+    let evs = per_txn t tid in
+    (* (i) alternating, starting with begin . ok *)
+    let rec alternating expecting_inv = function
+      | [] -> Ok ()
+      | e :: rest ->
+          if Event.is_inv e <> expecting_inv then
+            err tid "invocations and responses do not alternate"
+          else alternating (not expecting_inv) rest
+    in
+    let ( let* ) = Result.bind in
+    let* () =
+      match evs with
+      | Event.Inv { op = Event.Begin; _ }
+        :: Event.Resp { op = Event.Begin; resp = Event.R_ok; _ }
+        :: _ ->
+          Ok ()
+      | [ Event.Inv { op = Event.Begin; _ } ] ->
+          (* the begin invocation itself is still pending (e.g. a begin
+             that spins on a global object): a legitimate live txn *)
+          Ok ()
+      | _ -> err tid "does not start with begin . ok"
+    in
+    let* () = alternating true evs in
+    (* responses match invocations; (ii)-(v) *)
+    let rec matched = function
+      | [] | [ _ ] -> Ok ()
+      | Event.Inv { op; _ } :: (Event.Resp { op = op'; resp; _ } as r) :: rest
+        ->
+          if not (Event.equal_op op op') then
+            err tid "response for a different operation"
+          else
+            let ok =
+              match (op, resp) with
+              | Event.Begin, Event.R_ok -> true
+              | Event.Read _, (Event.R_value _ | Event.R_aborted) -> true
+              | Event.Write _, (Event.R_ok | Event.R_aborted) -> true
+              | Event.Try_commit, (Event.R_committed | Event.R_aborted) ->
+                  true
+              | Event.Abort_call, Event.R_aborted -> true
+              | _ -> false
+            in
+            if ok then matched (r :: rest) else err tid "ill-typed response"
+      | Event.Resp _ :: rest -> matched rest
+      | Event.Inv _ :: _ -> err tid "invocation followed by invocation"
+    in
+    let* () = matched evs in
+    (* (vi) nothing after C_T or A_T *)
+    let rec no_tail = function
+      | [] -> Ok ()
+      | Event.Resp { resp = Event.R_committed | Event.R_aborted; _ } :: rest
+        ->
+          if rest = [] then Ok () else err tid "events after C_T/A_T"
+      | _ :: rest -> no_tail rest
+    in
+    no_tail evs
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | tid :: rest -> (
+        match check_txn tid with Ok () -> all rest | Error _ as e -> e)
+  in
+  (* each process runs its transactions sequentially *)
+  let process_sequential =
+    let current = Hashtbl.create 8 in
+    Array.for_all
+      (fun e ->
+        let pid = Event.pid e and tid = Event.tid e in
+        match Hashtbl.find_opt current pid with
+        | Some tid' when not (Tid.equal tid tid') ->
+            if live t tid' then false
+            else begin
+              Hashtbl.replace current pid tid;
+              true
+            end
+        | _ ->
+            Hashtbl.replace current pid tid;
+            true)
+      t.events
+  in
+  if not process_sequential then
+    Error "a process interleaves two of its own transactions"
+  else all (txns t)
+
+(* ------------------------------------------------------------------ *)
+(* Restriction (used to shrink checker inputs) *)
+
+(** Keep only the events of transactions in [keep]. *)
+let restrict t keep =
+  of_list
+    (List.filter (fun e -> Tid.Set.mem (Event.tid e) keep) (to_list t))
+
+let pp ppf t =
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any "@\n") Event.pp_compact)
+    (to_list t)

@@ -1,0 +1,24 @@
+(* Accumulates history events during a run.  The scheduler/TM front-end
+   calls [inv]/[resp] around each transactional routine; [at] is the global
+   step count at the time of the event, which places events on the same
+   axis as access-log steps. *)
+
+open Tm_base
+
+type t = { mutable events_rev : Event.t list; mutable count : int }
+
+let create () = { events_rev = []; count = 0 }
+
+let add t e =
+  t.events_rev <- e :: t.events_rev;
+  t.count <- t.count + 1
+
+let inv t ~tid ~pid ~at op = add t (Event.Inv { tid; pid; op; at })
+
+let resp t ~tid ~pid ~at op resp =
+  add t (Event.Resp { tid; pid; op; resp; at })
+
+let history t = History.of_list (List.rev t.events_rev)
+let length t = t.count
+
+let _ = Tid.equal (* keep tm_base opened deps explicit *)

@@ -1,0 +1,15 @@
+(** Accumulates history events during a run.  The TM front-end
+    ({!Tm_impl.Txn_api}) calls {!inv}/{!resp} around each transactional
+    routine; [at] is the global step count at event time, placing events
+    on the same axis as access-log steps. *)
+
+open Tm_base
+
+type t
+
+val create : unit -> t
+val add : t -> Event.t -> unit
+val inv : t -> tid:Tid.t -> pid:int -> at:int -> Event.op -> unit
+val resp : t -> tid:Tid.t -> pid:int -> at:int -> Event.op -> Event.resp -> unit
+val history : t -> History.t
+val length : t -> int

@@ -1,0 +1,195 @@
+(* A compact textual wire format for histories, so that histories can be
+   saved, diffed, and fed to the checkers from the command line
+   (`pcl_tm check-file`).
+
+   One token per event, whitespace-separated; `#` starts a line comment.
+
+     invocations                      responses
+     +b<tid>@<pid>   begin            -ok<tid>     R_ok
+     +r<tid>(<item>) read             -v<tid>=<n>  R_value n
+     +w<tid>(<item>)=<n> write        -C<tid>      committed
+     +c<tid>         try-commit       -A<tid>      aborted
+     +a<tid>         abort call
+
+   Responses name only the transaction: the operation is reconstructed
+   from the transaction's pending invocation, which is unambiguous for
+   well-formed histories.  Values are restricted to integers — all the
+   checkers need.  Example (a lost update):
+
+     +b1@1 -ok1  +b2@2 -ok2
+     +r1(x) -v1=0  +r2(x) -v2=0
+     +w1(x)=1 -ok1  +w2(x)=2 -ok2
+     +c1 -C1  +c2 -C2
+*)
+
+open Tm_base
+
+let print_value v =
+  match Value.to_int v with
+  | Some n -> string_of_int n
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Wire.print: non-integer value %s" (Value.show v))
+
+let print_event (e : Event.t) : string =
+  match e with
+  | Event.Inv { tid; pid; op; _ } -> (
+      let t = Tid.to_int tid in
+      match op with
+      | Event.Begin -> Printf.sprintf "+b%d@%d" t pid
+      | Event.Read x -> Printf.sprintf "+r%d(%s)" t (Item.name x)
+      | Event.Write (x, v) ->
+          Printf.sprintf "+w%d(%s)=%s" t (Item.name x) (print_value v)
+      | Event.Try_commit -> Printf.sprintf "+c%d" t
+      | Event.Abort_call -> Printf.sprintf "+a%d" t)
+  | Event.Resp { tid; resp; _ } -> (
+      let t = Tid.to_int tid in
+      match resp with
+      | Event.R_ok -> Printf.sprintf "-ok%d" t
+      | Event.R_value v -> Printf.sprintf "-v%d=%s" t (print_value v)
+      | Event.R_committed -> Printf.sprintf "-C%d" t
+      | Event.R_aborted -> Printf.sprintf "-A%d" t)
+
+(** Render a history in the wire format, one transaction event per token,
+    eight tokens per line. *)
+let print (h : History.t) : string =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i e ->
+      if i > 0 then
+        Buffer.add_string buf (if i mod 8 = 0 then "\n" else " ");
+      Buffer.add_string buf (print_event e))
+    (History.to_list h);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* split "r12(x)=3"-style payloads *)
+let scan_tid_rest (s : string) : int * string =
+  let n = String.length s in
+  let rec digits i = if i < n && s.[i] >= '0' && s.[i] <= '9' then digits (i + 1) else i in
+  let stop = digits 0 in
+  if stop = 0 then fail "expected a transaction id in %S" s;
+  (int_of_string (String.sub s 0 stop), String.sub s stop (n - stop))
+
+let scan_paren (s : string) : string * string =
+  if String.length s = 0 || s.[0] <> '(' then fail "expected '(' in %S" s;
+  match String.index_opt s ')' with
+  | None -> fail "missing ')' in %S" s
+  | Some j ->
+      (String.sub s 1 (j - 1), String.sub s (j + 1) (String.length s - j - 1))
+
+let scan_eq_int (s : string) : int =
+  if String.length s = 0 || s.[0] <> '=' then fail "expected '=' in %S" s;
+  match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+  | Some n -> n
+  | None -> fail "expected an integer in %S" s
+
+type pending = { pid : int; mutable last_inv : Event.op option }
+
+let parse (text : string) : (History.t, string) result =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (fun line ->
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           String.split_on_char ' ' line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  let txns : (int, pending) Hashtbl.t = Hashtbl.create 8 in
+  let state t =
+    match Hashtbl.find_opt txns t with
+    | Some p -> p
+    | None -> fail "T%d used before its begin" t
+  in
+  let events = ref [] in
+  let at = ref 0 in
+  let emit e =
+    events := e :: !events;
+    incr at
+  in
+  let parse_token tok =
+    let n = String.length tok in
+    if n < 2 then fail "token too short: %S" tok;
+    let body = String.sub tok 2 (n - 2) in
+    match (tok.[0], tok.[1]) with
+    | '+', 'b' ->
+        let t, rest = scan_tid_rest body in
+        let pid =
+          if String.length rest > 0 && rest.[0] = '@' then
+            match int_of_string_opt (String.sub rest 1 (String.length rest - 1)) with
+            | Some p -> p
+            | None -> fail "bad pid in %S" tok
+          else fail "begin needs @pid: %S" tok
+        in
+        Hashtbl.replace txns t { pid; last_inv = Some Event.Begin };
+        emit (Event.Inv { tid = Tid.v t; pid; op = Event.Begin; at = !at })
+    | '+', 'r' ->
+        let t, rest = scan_tid_rest body in
+        let item, _ = scan_paren rest in
+        let p = state t in
+        let op = Event.Read (Item.v item) in
+        p.last_inv <- Some op;
+        emit (Event.Inv { tid = Tid.v t; pid = p.pid; op; at = !at })
+    | '+', 'w' ->
+        let t, rest = scan_tid_rest body in
+        let item, rest = scan_paren rest in
+        let v = scan_eq_int rest in
+        let p = state t in
+        let op = Event.Write (Item.v item, Value.int v) in
+        p.last_inv <- Some op;
+        emit (Event.Inv { tid = Tid.v t; pid = p.pid; op; at = !at })
+    | '+', 'c' ->
+        let t, _ = scan_tid_rest body in
+        let p = state t in
+        p.last_inv <- Some Event.Try_commit;
+        emit
+          (Event.Inv
+             { tid = Tid.v t; pid = p.pid; op = Event.Try_commit; at = !at })
+    | '+', 'a' ->
+        let t, _ = scan_tid_rest body in
+        let p = state t in
+        p.last_inv <- Some Event.Abort_call;
+        emit
+          (Event.Inv
+             { tid = Tid.v t; pid = p.pid; op = Event.Abort_call; at = !at })
+    | '-', _ ->
+        let kind, payload =
+          match tok.[1] with
+          | 'o' ->
+              if n < 3 || tok.[2] <> 'k' then fail "bad token %S" tok
+              else (`Ok, String.sub tok 3 (n - 3))
+          | 'v' -> (`Value, body)
+          | 'C' -> (`Committed, body)
+          | 'A' -> (`Aborted, body)
+          | _ -> fail "bad response token %S" tok
+        in
+        let t, rest = scan_tid_rest payload in
+        let p = state t in
+        let op =
+          match p.last_inv with
+          | Some op -> op
+          | None -> fail "response without pending invocation for T%d" t
+        in
+        let resp =
+          match kind with
+          | `Ok -> Event.R_ok
+          | `Committed -> Event.R_committed
+          | `Aborted -> Event.R_aborted
+          | `Value -> Event.R_value (Value.int (scan_eq_int rest))
+        in
+        p.last_inv <- None;
+        emit (Event.Resp { tid = Tid.v t; pid = p.pid; op; resp; at = !at })
+    | _ -> fail "unknown token %S" tok
+  in
+  match List.iter parse_token tokens with
+  | () -> Ok (History.of_list (List.rev !events))
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,1 @@
+lib/universal/linearizability.ml: Array List Seq_object Tm_base Value

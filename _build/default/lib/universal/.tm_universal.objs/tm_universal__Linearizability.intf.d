@@ -1,0 +1,1 @@
+lib/universal/linearizability.mli: Seq_object Tm_base Value

@@ -1,0 +1,1 @@
+lib/universal/seq_object.ml: Tm_base Value

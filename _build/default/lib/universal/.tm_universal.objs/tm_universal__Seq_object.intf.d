@@ -1,0 +1,1 @@
+lib/universal/seq_object.mli: Tm_base Value

@@ -1,0 +1,1 @@
+lib/universal/universal.ml: Array List Memory Oid Printf Proc Seq_object Tm_base Tm_runtime Value

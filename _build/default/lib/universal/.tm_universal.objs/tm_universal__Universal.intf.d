@@ -1,0 +1,1 @@
+lib/universal/universal.mli: Memory Seq_object Tid Tm_base Value

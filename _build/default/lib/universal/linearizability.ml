@@ -1,0 +1,61 @@
+(* Wing & Gong style linearizability checking for runs of the universal
+   constructions: search for a total order of the recorded operations that
+   respects real time (an operation whose response preceded another's
+   invocation must come first) and replays correctly through the
+   sequential specification.
+
+   This closes the loop on {!Universal}: the constructions claim
+   linearizability, the test suite enumerates interleavings with
+   {!Tm_runtime.Explorer} and verifies every run here. *)
+
+open Tm_base
+
+type recorded_op = {
+  pid : int;
+  op : Value.t;
+  result : Value.t;
+  inv : int;  (** step count at invocation *)
+  resp : int;  (** step count at response *)
+}
+
+(** Is there a linearization of [ops] legal for the sequential object? *)
+let check (module S : Seq_object.S) (ops : recorded_op list) : bool =
+  let n = List.length ops in
+  let arr = Array.of_list ops in
+  let used = Array.make n false in
+  let rec go placed state =
+    if placed = n then true
+    else begin
+      (* o may come next iff no other remaining operation finished before
+         o started *)
+      let candidate i =
+        (not used.(i))
+        &&
+        let o = arr.(i) in
+        not
+          (Array.exists
+             (fun j -> j)
+             (Array.init n (fun j ->
+                  (not used.(j)) && j <> i && arr.(j).resp < o.inv)))
+      in
+      let rec try_ops i =
+        if i >= n then false
+        else if candidate i then begin
+          let o = arr.(i) in
+          let state', result = S.apply o.op state in
+          if Value.equal result o.result then begin
+            used.(i) <- true;
+            if go (placed + 1) state' then true
+            else begin
+              used.(i) <- false;
+              try_ops (i + 1)
+            end
+          end
+          else try_ops (i + 1)
+        end
+        else try_ops (i + 1)
+      in
+      try_ops 0
+    end
+  in
+  go 0 S.init

@@ -1,0 +1,15 @@
+(** Wing & Gong style linearizability checking for runs of the universal
+    constructions: find a real-time-respecting total order of the recorded
+    operations that replays correctly through the sequential spec. *)
+
+open Tm_base
+
+type recorded_op = {
+  pid : int;
+  op : Value.t;
+  result : Value.t;
+  inv : int;  (** step count at invocation *)
+  resp : int;  (** step count at response *)
+}
+
+val check : (module Seq_object.S) -> recorded_op list -> bool

@@ -1,0 +1,64 @@
+(* Sequential object specifications for the universal constructions
+   (Section 2's related work: Herlihy's universal constructions [23, 24]
+   and their disjoint-access-parallel refinements [1, 2, 9, 15, 37]).
+
+   A sequential object is a pure transition function over Value.t states;
+   the constructions turn it into a linearizable concurrent object built
+   from base objects. *)
+
+open Tm_base
+
+module type S = sig
+  val name : string
+  val init : Value.t
+
+  val apply : Value.t -> Value.t -> Value.t * Value.t
+  (** [apply op state] is [(state', response)]. *)
+end
+
+(** A fetch&add counter: ops are [VInt delta], responses the old value. *)
+module Counter : S = struct
+  let name = "counter"
+  let init = Value.int 0
+
+  let apply op state =
+    let d = Value.to_int_exn op and v = Value.to_int_exn state in
+    (Value.int (v + d), Value.int v)
+end
+
+(** A read/write register: op [VPair (VBool true, v)] writes [v] and
+    returns the old value; [VPair (VBool false, _)] reads. *)
+module Register : S = struct
+  let name = "register"
+  let init = Value.initial
+
+  let apply op state =
+    match op with
+    | Value.VPair (Value.VBool true, v) -> (v, state)
+    | Value.VPair (Value.VBool false, _) -> (state, state)
+    | _ -> invalid_arg "Register.apply: bad op"
+end
+
+(** A FIFO queue of values: op [VPair (VBool true, v)] enqueues,
+    [VPair (VBool false, _)] dequeues (response [VList []] when empty,
+    [VList [v]] otherwise). *)
+module Queue : S = struct
+  let name = "queue"
+  let init = Value.list []
+
+  let apply op state =
+    let items = Value.to_list_exn state in
+    match op with
+    | Value.VPair (Value.VBool true, v) ->
+        (Value.list (items @ [ v ]), Value.unit)
+    | Value.VPair (Value.VBool false, _) -> (
+        match items with
+        | [] -> (state, Value.list [])
+        | v :: rest -> (Value.list rest, Value.list [ v ]))
+    | _ -> invalid_arg "Queue.apply: bad op"
+end
+
+let enq v = Value.pair (Value.bool true) v
+let deq = Value.pair (Value.bool false) Value.unit
+let write v = Value.pair (Value.bool true) v
+let read_op = Value.pair (Value.bool false) Value.unit

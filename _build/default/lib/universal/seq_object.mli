@@ -1,0 +1,27 @@
+(** Sequential object specifications for the universal constructions:
+    pure transition functions over {!Tm_base.Value.t} states, which the
+    constructions lift to linearizable concurrent objects. *)
+
+open Tm_base
+
+module type S = sig
+  val name : string
+  val init : Value.t
+
+  val apply : Value.t -> Value.t -> Value.t * Value.t
+  (** [apply op state] is [(state', response)]. *)
+end
+
+module Counter : S
+(** Fetch&add counter: ops are [VInt delta], responses the old value. *)
+
+module Register : S
+(** Read/write register; see {!write} and {!read_op} for op encoding. *)
+
+module Queue : S
+(** FIFO queue; see {!enq} and {!deq}. *)
+
+val enq : Value.t -> Value.t
+val deq : Value.t
+val write : Value.t -> Value.t
+val read_op : Value.t

@@ -1,0 +1,118 @@
+(* Universal constructions over the shared-memory substrate.
+
+   Two classical designs, both centralizing the object in a single base
+   object — which is precisely why they are NOT disjoint-access-parallel
+   and why the paper's Section-2 lineage ([2], [15], [37]) worked to
+   localize them.  The dap_audit example shows every pair of operations
+   contending on the state cell.
+
+   - {!Lock_free}: the compact CAS-retry construction.  System-wide
+     progress always (a failed CAS means someone else's succeeded), but an
+     individual operation can starve.
+
+   - {!Wait_free}: announce-and-help in the apply-all style of Herlihy's
+     construction [24].  An operation announces itself, then keeps trying
+     to CAS a record holding (state, per-process applied counts,
+     per-process last responses); every successful CAS applies ALL
+     currently announced pending operations, so any two successful CASes
+     after an announce are guaranteed to include it — each operation
+     finishes within a bounded number of interfering steps. *)
+
+open Tm_base
+open Tm_runtime
+
+module Lock_free = struct
+  type t = { state : Oid.t; apply : Value.t -> Value.t -> Value.t * Value.t }
+
+  let create mem (module S : Seq_object.S) =
+    {
+      state = Memory.alloc mem ~name:("ulf:" ^ S.name) S.init;
+      apply = S.apply;
+    }
+
+  (** Apply one operation; lock-free (retries only when an interfering
+      CAS succeeded). *)
+  let invoke t ?tid (op : Value.t) : Value.t =
+    let rec loop () =
+      let cur = Proc.read ?tid t.state in
+      let next, response = t.apply op cur in
+      if Proc.cas ?tid t.state ~expected:cur ~desired:next then response
+      else loop ()
+    in
+    loop ()
+end
+
+module Wait_free = struct
+  type t = {
+    n : int;
+    record : Oid.t;
+        (* VList [state; VList applied_seq per proc; VList last_resp per proc] *)
+    announce : Oid.t array;  (* per proc: VList [VInt seq; op] *)
+    apply : Value.t -> Value.t -> Value.t * Value.t;
+    seqs : int array;  (* process-local operation counters *)
+  }
+
+  let create mem (module S : Seq_object.S) ~n_procs =
+    let zeros = List.init n_procs (fun _ -> Value.int 0) in
+    let units = List.init n_procs (fun _ -> Value.unit) in
+    {
+      n = n_procs;
+      record =
+        Memory.alloc mem
+          ~name:("uwf:" ^ S.name)
+          (Value.list [ S.init; Value.list zeros; Value.list units ]);
+      announce =
+        Array.init n_procs (fun i ->
+            Memory.alloc mem
+              ~name:(Printf.sprintf "uwf-ann:%s:%d" S.name i)
+              (Value.list [ Value.int 0; Value.unit ]));
+      apply = S.apply;
+      seqs = Array.make n_procs 0;
+    }
+
+  let decode_record v =
+    match v with
+    | Value.VList [ state; Value.VList applied; Value.VList resps ] ->
+        (state, applied, resps)
+    | _ -> invalid_arg "universal: bad record"
+
+  let nth l i = List.nth l i
+  let set l i x = List.mapi (fun j y -> if j = i then x else y) l
+
+  (** Apply one operation on behalf of process [me] (0-based slot);
+      wait-free via helping. *)
+  let invoke t ~me ?tid (op : Value.t) : Value.t =
+    if me < 0 || me >= t.n then invalid_arg "universal: bad process slot";
+    t.seqs.(me) <- t.seqs.(me) + 1;
+    let my_seq = t.seqs.(me) in
+    (* announce *)
+    Proc.write ?tid t.announce.(me) (Value.list [ Value.int my_seq; op ]);
+    let rec loop () =
+      let cur = Proc.read ?tid t.record in
+      let state, applied, resps = decode_record cur in
+      if Value.to_int_exn (nth applied me) >= my_seq then
+        (* somebody (possibly us) already applied our op *)
+        nth resps me
+      else begin
+        (* help everyone: apply every announced-but-unapplied op, in
+           process order *)
+        let state = ref state and applied = ref applied and resps = ref resps in
+        for i = 0 to t.n - 1 do
+          match Proc.read ?tid t.announce.(i) with
+          | Value.VList [ Value.VInt seq; op_i ]
+            when seq = Value.to_int_exn (nth !applied i) + 1 ->
+              let st', r = t.apply op_i !state in
+              state := st';
+              applied := set !applied i (Value.int seq);
+              resps := set !resps i r
+          | _ -> ()
+        done;
+        let next =
+          Value.list [ !state; Value.list !applied; Value.list !resps ]
+        in
+        ignore (Proc.cas ?tid t.record ~expected:cur ~desired:next);
+        loop ()
+      end
+    in
+    loop ()
+end

@@ -1,0 +1,29 @@
+(** Universal constructions over the shared-memory substrate — the
+    Section-2 related-work lineage, runnable.  Both centralize the object
+    in one base object, which is exactly why they are not
+    disjoint-access-parallel and why [2, 15, 37] worked to localize them. *)
+
+open Tm_base
+
+(** The compact CAS-retry construction: lock-free (a failed CAS means
+    someone else's succeeded), but an individual operation can starve. *)
+module Lock_free : sig
+  type t
+
+  val create : Memory.t -> (module Seq_object.S) -> t
+  val invoke : t -> ?tid:Tid.t -> Value.t -> Value.t
+end
+
+(** Announce-and-help in the apply-all style of Herlihy's wait-free
+    construction: every successful CAS applies all announced pending
+    operations, so each operation finishes within a bounded number of
+    interfering steps. *)
+module Wait_free : sig
+  type t
+
+  val create : Memory.t -> (module Seq_object.S) -> n_procs:int -> t
+
+  val invoke : t -> me:int -> ?tid:Tid.t -> Value.t -> Value.t
+  (** [me] is the process slot in [0 .. n_procs-1].
+      @raise Invalid_argument on a bad slot. *)
+end

@@ -1,0 +1,1 @@
+test/test_base.ml: Access_log Alcotest Base_object Core List Memory Oid Primitive Printf QCheck QCheck_alcotest Test Tid Value

@@ -1,0 +1,1 @@
+test/test_dap.ml: Access_log Alcotest Build Conflict Contention Core Graph_dap Item List Memory Obstruction_freedom Primitive Strict_dap Tid Value

@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Core Liveness_class Printf Registry

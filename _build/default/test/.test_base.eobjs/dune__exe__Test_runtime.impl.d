@@ -1,0 +1,1 @@
+test/test_runtime.ml: Access_log Alcotest Core Explorer List Memory Oid Printf Proc Result Schedule Scheduler Sim Value

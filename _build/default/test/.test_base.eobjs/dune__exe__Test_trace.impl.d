@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Anomalies Array Build Core Event Hashtbl History Item Legality List Option QCheck QCheck_alcotest Random Result Tid Value Wire

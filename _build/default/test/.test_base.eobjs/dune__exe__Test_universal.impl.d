@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Contention Core Explorer Hashtbl Linearizability List Memory Option Recorder Result Schedule Seq_object Sim Tid Universal Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core List Printf Progress Registry Tm_intf Workload

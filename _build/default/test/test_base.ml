@@ -1,0 +1,292 @@
+(* Unit and property tests for the shared-memory substrate (tm_base). *)
+
+open Core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let value_tests =
+  [
+    Alcotest.test_case "initial value is 0" `Quick (fun () ->
+        check "initial" true (Value.equal Value.initial (Value.int 0)));
+    Alcotest.test_case "equal structural" `Quick (fun () ->
+        check "pair eq" true
+          (Value.equal
+             (Value.pair (Value.int 1) (Value.bool true))
+             (Value.pair (Value.int 1) (Value.bool true)));
+        check "pair neq" false
+          (Value.equal
+             (Value.pair (Value.int 1) (Value.bool true))
+             (Value.pair (Value.int 2) (Value.bool true))));
+    Alcotest.test_case "to_int on ints only" `Quick (fun () ->
+        check_int "int" 7 (Value.to_int_exn (Value.int 7));
+        check "none" true (Value.to_int (Value.bool true) = None);
+        Alcotest.check_raises "exn" (Invalid_argument "Value.to_int_exn: (VBool true)")
+          (fun () -> ignore (Value.to_int_exn (Value.bool true))));
+    Alcotest.test_case "to_pair/to_list" `Quick (fun () ->
+        let p = Value.pair (Value.int 1) (Value.int 2) in
+        check "pair" true (Value.to_pair_exn p = (Value.int 1, Value.int 2));
+        let l = Value.list [ Value.int 1 ] in
+        check "list" true (Value.to_list_exn l = [ Value.int 1 ]));
+    Alcotest.test_case "compact printing" `Quick (fun () ->
+        check_str "int" "7" (Value.to_string (Value.int 7));
+        check_str "pair" "(1,true)"
+          (Value.to_string (Value.pair (Value.int 1) (Value.bool true)));
+        check_str "list" "[1;2]"
+          (Value.to_string (Value.list [ Value.int 1; Value.int 2 ])));
+  ]
+
+let primitive_tests =
+  [
+    Alcotest.test_case "triviality classification" `Quick (fun () ->
+        check "read trivial" true (Primitive.trivial Primitive.Read);
+        check "ll trivial" true (Primitive.trivial (Primitive.Load_linked 1));
+        check "write non-trivial" true
+          (Primitive.non_trivial (Primitive.Write Value.unit));
+        check "cas non-trivial" true
+          (Primitive.non_trivial
+             (Primitive.Cas { expected = Value.unit; desired = Value.unit }));
+        check "faa non-trivial" true
+          (Primitive.non_trivial (Primitive.Fetch_add 0));
+        check "trylock non-trivial" true
+          (Primitive.non_trivial (Primitive.Try_lock 1));
+        check "unlock non-trivial" true
+          (Primitive.non_trivial (Primitive.Unlock 1));
+        check "sc non-trivial" true
+          (Primitive.non_trivial (Primitive.Store_conditional (1, Value.unit))));
+  ]
+
+let obj () = Base_object.create (Value.int 0)
+
+let base_object_tests =
+  [
+    Alcotest.test_case "read returns state, unchanged" `Quick (fun () ->
+        let o = obj () in
+        let v, changed = Base_object.apply o Primitive.Read in
+        check "value" true (Value.equal v (Value.int 0));
+        check "unchanged" false changed);
+    Alcotest.test_case "write updates, reports change" `Quick (fun () ->
+        let o = obj () in
+        let _, ch1 = Base_object.apply o (Primitive.Write (Value.int 5)) in
+        check "changed" true ch1;
+        let _, ch2 = Base_object.apply o (Primitive.Write (Value.int 5)) in
+        check "same value unchanged" false ch2;
+        check "state" true (Value.equal (Base_object.value o) (Value.int 5)));
+    Alcotest.test_case "cas succeeds iff expected matches" `Quick (fun () ->
+        let o = obj () in
+        let r, _ =
+          Base_object.apply o
+            (Primitive.Cas { expected = Value.int 0; desired = Value.int 1 })
+        in
+        check "success" true (Value.to_bool_exn r);
+        let r, ch =
+          Base_object.apply o
+            (Primitive.Cas { expected = Value.int 0; desired = Value.int 2 })
+        in
+        check "failure" false (Value.to_bool_exn r);
+        check "failure no change" false ch;
+        check "state" true (Value.equal (Base_object.value o) (Value.int 1)));
+    Alcotest.test_case "fetch_add returns old value" `Quick (fun () ->
+        let o = obj () in
+        let r, _ = Base_object.apply o (Primitive.Fetch_add 3) in
+        check_int "old" 0 (Value.to_int_exn r);
+        let r, _ = Base_object.apply o (Primitive.Fetch_add 4) in
+        check_int "old2" 3 (Value.to_int_exn r);
+        check_int "state" 7 (Value.to_int_exn (Base_object.value o)));
+    Alcotest.test_case "fetch_add 0 reports no change" `Quick (fun () ->
+        let o = obj () in
+        let _, ch = Base_object.apply o (Primitive.Fetch_add 0) in
+        check "unchanged" false ch);
+    Alcotest.test_case "locks are exclusive and reentrant-aware" `Quick
+      (fun () ->
+        let o = obj () in
+        let r, _ = Base_object.apply o (Primitive.Try_lock 1) in
+        check "p1 acquires" true (Value.to_bool_exn r);
+        let r, _ = Base_object.apply o (Primitive.Try_lock 2) in
+        check "p2 denied" false (Value.to_bool_exn r);
+        let r, _ = Base_object.apply o (Primitive.Try_lock 1) in
+        check "p1 re-acquires (held)" true (Value.to_bool_exn r);
+        check "holder" true (Base_object.lock_holder o = Some 1));
+    Alcotest.test_case "unlock by non-holder is a no-op" `Quick (fun () ->
+        let o = obj () in
+        ignore (Base_object.apply o (Primitive.Try_lock 1));
+        let _, ch = Base_object.apply o (Primitive.Unlock 2) in
+        check "no change" false ch;
+        check "still held" true (Base_object.locked o);
+        ignore (Base_object.apply o (Primitive.Unlock 1));
+        check "released" false (Base_object.locked o));
+    Alcotest.test_case "ll/sc succeeds when undisturbed" `Quick (fun () ->
+        let o = obj () in
+        let v, ch = Base_object.apply o (Primitive.Load_linked 1) in
+        check "ll reads" true (Value.equal v (Value.int 0));
+        check "ll trivial effect" false ch;
+        let r, _ =
+          Base_object.apply o (Primitive.Store_conditional (1, Value.int 9))
+        in
+        check "sc ok" true (Value.to_bool_exn r);
+        check "state" true (Value.equal (Base_object.value o) (Value.int 9)));
+    Alcotest.test_case "sc without reservation fails" `Quick (fun () ->
+        let o = obj () in
+        let r, ch =
+          Base_object.apply o (Primitive.Store_conditional (1, Value.int 9))
+        in
+        check "sc fails" false (Value.to_bool_exn r);
+        check "no change" false ch);
+    Alcotest.test_case "write invalidates ll reservation" `Quick (fun () ->
+        let o = obj () in
+        ignore (Base_object.apply o (Primitive.Load_linked 1));
+        ignore (Base_object.apply o (Primitive.Write (Value.int 5)));
+        let r, _ =
+          Base_object.apply o (Primitive.Store_conditional (1, Value.int 9))
+        in
+        check "sc fails" false (Value.to_bool_exn r));
+    Alcotest.test_case "successful cas invalidates ll reservation" `Quick
+      (fun () ->
+        let o = obj () in
+        ignore (Base_object.apply o (Primitive.Load_linked 1));
+        ignore
+          (Base_object.apply o
+             (Primitive.Cas { expected = Value.int 0; desired = Value.int 1 }));
+        let r, _ =
+          Base_object.apply o (Primitive.Store_conditional (1, Value.int 9))
+        in
+        check "sc fails" false (Value.to_bool_exn r));
+    Alcotest.test_case "sc invalidates other reservations" `Quick (fun () ->
+        let o = obj () in
+        ignore (Base_object.apply o (Primitive.Load_linked 1));
+        ignore (Base_object.apply o (Primitive.Load_linked 2));
+        let r, _ =
+          Base_object.apply o (Primitive.Store_conditional (1, Value.int 5))
+        in
+        check "first sc ok" true (Value.to_bool_exn r);
+        let r, _ =
+          Base_object.apply o (Primitive.Store_conditional (2, Value.int 6))
+        in
+        check "second sc fails" false (Value.to_bool_exn r));
+  ]
+
+let memory_tests =
+  [
+    Alcotest.test_case "alloc/find/name round trip" `Quick (fun () ->
+        let m = Memory.create () in
+        let a = Memory.alloc m ~name:"a" (Value.int 1) in
+        let b = Memory.alloc m ~name:"b" (Value.int 2) in
+        check "find a" true (Memory.find m "a" = Some a);
+        check "find b" true (Memory.find m "b" = Some b);
+        check "find missing" true (Memory.find m "c" = None);
+        check_str "name_of" "b" (Memory.name_of m b);
+        check_int "n_objects" 2 (Memory.n_objects m));
+    Alcotest.test_case "duplicate name rejected" `Quick (fun () ->
+        let m = Memory.create () in
+        ignore (Memory.alloc m ~name:"a" Value.unit);
+        check "raises" true
+          (try
+             ignore (Memory.alloc m ~name:"a" Value.unit);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "many allocations grow the table" `Quick (fun () ->
+        let m = Memory.create () in
+        for i = 0 to 99 do
+          ignore (Memory.alloc m ~name:(Printf.sprintf "o%d" i) (Value.int i))
+        done;
+        check_int "count" 100 (Memory.n_objects m);
+        check "values" true
+          (Value.equal (Memory.peek m (Memory.find_exn m "o57")) (Value.int 57)));
+    Alcotest.test_case "apply logs steps in order" `Quick (fun () ->
+        let m = Memory.create () in
+        let a = Memory.alloc m ~name:"a" (Value.int 0) in
+        ignore (Memory.apply m ~pid:1 a (Primitive.Write (Value.int 1)));
+        ignore (Memory.apply m ~pid:2 ~tid:(Tid.v 9) a Primitive.Read);
+        let log = Access_log.entries (Memory.log m) in
+        check_int "length" 2 (List.length log);
+        let e0 = List.nth log 0 and e1 = List.nth log 1 in
+        check_int "idx0" 0 e0.Access_log.index;
+        check_int "idx1" 1 e1.Access_log.index;
+        check_int "pid" 2 e1.Access_log.pid;
+        check "tid" true (e1.Access_log.tid = Some (Tid.v 9));
+        check "response" true (Value.equal e1.Access_log.response (Value.int 1));
+        check_int "step_count" 2 (Memory.step_count m));
+    Alcotest.test_case "peek is not logged" `Quick (fun () ->
+        let m = Memory.create () in
+        let a = Memory.alloc m ~name:"a" (Value.int 0) in
+        ignore (Memory.peek m a);
+        check_int "no steps" 0 (Memory.step_count m));
+    Alcotest.test_case "by_txn and objects_of_txn" `Quick (fun () ->
+        let m = Memory.create () in
+        let a = Memory.alloc m ~name:"a" (Value.int 0) in
+        let b = Memory.alloc m ~name:"b" (Value.int 0) in
+        ignore (Memory.apply m ~pid:1 ~tid:(Tid.v 1) a Primitive.Read);
+        ignore
+          (Memory.apply m ~pid:1 ~tid:(Tid.v 1) b (Primitive.Write (Value.int 2)));
+        ignore (Memory.apply m ~pid:2 ~tid:(Tid.v 2) a Primitive.Read);
+        check_int "t1 steps" 2 (List.length (Access_log.by_txn (Memory.log m) (Tid.v 1)));
+        let objs = Access_log.objects_of_txn (Memory.log m) (Tid.v 1) in
+        check "a trivial" true (Oid.Map.find a objs = false);
+        check "b non-trivial" true (Oid.Map.find b objs = true));
+  ]
+
+(* property tests *)
+
+let prop_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:200 ~name:"fetch_add accumulates"
+         (list (int_range (-50) 50))
+         (fun deltas ->
+           let o = Base_object.create (Value.int 0) in
+           List.iter
+             (fun d -> ignore (Base_object.apply o (Primitive.Fetch_add d)))
+             deltas;
+           Value.to_int_exn (Base_object.value o)
+           = List.fold_left ( + ) 0 deltas));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:200 ~name:"cas model equivalence"
+         (list (pair (int_range 0 3) (int_range 0 3)))
+         (fun ops ->
+           let o = Base_object.create (Value.int 0) in
+           let model = ref 0 in
+           List.for_all
+             (fun (e, d) ->
+               let r, _ =
+                 Base_object.apply o
+                   (Primitive.Cas
+                      { expected = Value.int e; desired = Value.int d })
+               in
+               let expect_ok = !model = e in
+               if expect_ok then model := d;
+               Value.to_bool_exn r = expect_ok
+               && Value.to_int_exn (Base_object.value o) = !model)
+             ops));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:100 ~name:"lock holder model"
+         (list (pair bool (int_range 1 3)))
+         (fun ops ->
+           let o = Base_object.create Value.unit in
+           let holder = ref None in
+           List.for_all
+             (fun (lock, p) ->
+               if lock then begin
+                 let r, _ = Base_object.apply o (Primitive.Try_lock p) in
+                 let expect = !holder = None || !holder = Some p in
+                 if !holder = None then holder := Some p;
+                 Value.to_bool_exn r = expect
+               end
+               else begin
+                 ignore (Base_object.apply o (Primitive.Unlock p));
+                 if !holder = Some p then holder := None;
+                 Base_object.lock_holder o = !holder
+               end)
+             ops));
+  ]
+
+let () =
+  Alcotest.run "base"
+    [
+      ("value", value_tests);
+      ("primitive", primitive_tests);
+      ("base_object", base_object_tests);
+      ("memory", memory_tests);
+      ("properties", prop_tests);
+    ]
