@@ -3,6 +3,11 @@
 
      dune exec bench/main.exe             -- every section
      dune exec bench/main.exe -- fig5     -- one section
+     dune exec bench/main.exe -- --json   -- machine-readable summary
+                                             (BENCH_summary.json)
+
+   Flags: --json, --out FILE, --iters N (txns per process in the scaling
+   sweep, default 25), --seed N.
 
    Sections:
      fig1..fig6  the proof-construction artifacts (Figures 1-6), run
@@ -16,11 +21,63 @@
 
 open Core
 
-let section_enabled name =
-  let requested =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun s -> s <> "--")
+type cli = {
+  json : bool;  (** write the machine-readable summary *)
+  out : string;
+  iters : int;  (** txns per process in the scaling sweep *)
+  seed : int;
+  sections : string list;
+}
+
+let parse_cli () : cli =
+  let json = ref false
+  and out = ref "BENCH_summary.json"
+  and iters = ref 25
+  and seed = ref 1
+  and sections = ref [] in
+  let int_arg flag = function
+    | Some n -> n
+    | None -> Fmt.failwith "%s expects an integer" flag
   in
-  requested = [] || List.mem name requested
+  let rec go = function
+    | [] -> ()
+    | "--" :: rest -> go rest
+    | "--json" :: rest ->
+        json := true;
+        go rest
+    | "--out" :: f :: rest ->
+        out := f;
+        go rest
+    | "--iters" :: n :: rest ->
+        iters := int_arg "--iters" (int_of_string_opt n);
+        go rest
+    | "--seed" :: n :: rest ->
+        seed := int_arg "--seed" (int_of_string_opt n);
+        go rest
+    | s :: _ when String.length s > 2 && String.sub s 0 2 = "--" ->
+        Fmt.failwith
+          "unknown flag %s (want --json, --out FILE, --iters N, --seed N \
+           or section names)"
+          s
+    | s :: rest ->
+        sections := s :: !sections;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  {
+    json = !json;
+    out = !out;
+    iters = !iters;
+    seed = !seed;
+    sections = List.rev !sections;
+  }
+
+(* --json with no explicit sections runs only the scaling sweep (the
+   machine-readable artifact); otherwise no sections means all. *)
+let section_enabled cli name =
+  let requested = cli.sections in
+  (requested = [] && ((not cli.json) || name = "scaling"))
+  || List.mem name requested
   || (List.mem "figures" requested
      && String.length name = 4
      && String.sub name 0 3 = "fig")
@@ -102,10 +159,18 @@ let triangle () =
 (* ------------------------------------------------------------------ *)
 (* T-B: scaling sweep *)
 
-let scaling () =
+type scaling_row = {
+  tm : string;
+  procs : int;
+  conflict_pct : int;
+  stats : Workload.stats;
+}
+
+let scaling ~iters ~seed () : scaling_row list =
   Format.printf "%-12s %-6s %-9s %8s %8s %8s %12s %12s %10s@." "TM" "procs"
     "conflict" "steps" "commits" "aborts" "steps/commit" "contentions"
     "disjoint!";
+  let rows = ref [] in
   List.iter
     (fun impl ->
       let (module M : Tm_intf.S) = impl in
@@ -114,9 +179,13 @@ let scaling () =
           List.iter
             (fun conflict_pct ->
               let cfg =
-                { Workload.default with Workload.n_procs; conflict_pct }
+                { Workload.default with Workload.n_procs; conflict_pct;
+                  txns_per_proc = iters; seed }
               in
               let s = Workload.run impl cfg in
+              rows :=
+                { tm = M.name; procs = n_procs; conflict_pct; stats = s }
+                :: !rows;
               Format.printf "%-12s %-6d %-9s %8d %8d %8d %12.1f %12d %10d%s@."
                 M.name n_procs
                 (Printf.sprintf "%d%%" conflict_pct)
@@ -130,7 +199,8 @@ let scaling () =
             [ 0; 50; 100 ])
         [ 2; 4; 8 ];
       Format.printf "@.")
-    Registry.all
+    Registry.all;
+  List.rev !rows
 
 (* ------------------------------------------------------------------ *)
 (* T-C: checker microbenchmarks (bechamel) *)
@@ -250,8 +320,53 @@ let hierarchy () =
     Anomalies.catalogue
 
 (* ------------------------------------------------------------------ *)
+(* the machine-readable summary: scaling rows + the telemetry snapshot *)
+
+let row_json (r : scaling_row) : Obs_json.t =
+  let s = r.stats in
+  Obs_json.Obj
+    [
+      ("tm", Obs_json.String r.tm);
+      ("procs", Obs_json.Int r.procs);
+      ("conflict_pct", Obs_json.Int r.conflict_pct);
+      ("steps", Obs_json.Int s.Workload.steps);
+      ("commits", Obs_json.Int s.Workload.commits);
+      ("aborts", Obs_json.Int s.Workload.aborts);
+      ("contentions", Obs_json.Int s.Workload.contentions);
+      ("disjoint_contentions", Obs_json.Int s.Workload.disjoint_contentions);
+      ("completed", Obs_json.Bool s.Workload.completed);
+    ]
+
+let write_summary cli (rows : scaling_row list) =
+  let metric_lines =
+    List.filter
+      (fun j ->
+        Obs_json.member "type" j = Some (Obs_json.String "metric"))
+      (Sink.jsonl_values Sink.default)
+  in
+  let doc =
+    Obs_json.Obj
+      [
+        ("tool", Obs_json.String "bench");
+        ("iters", Obs_json.Int cli.iters);
+        ("seed", Obs_json.Int cli.seed);
+        ("scaling", Obs_json.List (List.map row_json rows));
+        ("metrics", Obs_json.List metric_lines);
+      ]
+  in
+  let oc = open_out cli.out in
+  output_string oc (Obs_json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %s (%d scaling rows, %d metric samples)@." cli.out
+    (List.length rows) (List.length metric_lines)
 
 let () =
+  let cli = parse_cli () in
+  Sink.set_meta Sink.default "tool" "bench";
+  Sink.set_meta Sink.default "iters" (string_of_int cli.iters);
+  Sink.set_meta Sink.default "seed" (string_of_int cli.seed);
+  let scaling_rows = ref [] in
   let sections =
     [
       ("fig1", fun () -> fig12 `Fig1);
@@ -261,7 +376,9 @@ let () =
       ("fig5", fun () -> fig56 `Fig5);
       ("fig6", fun () -> fig56 `Fig6);
       ("triangle", triangle);
-      ("scaling", scaling);
+      ( "scaling",
+        fun () ->
+          scaling_rows := scaling ~iters:cli.iters ~seed:cli.seed () );
       ("checkers", checkers);
       ("hierarchy", hierarchy);
       ("progress", progress);
@@ -270,8 +387,9 @@ let () =
   in
   List.iter
     (fun (name, f) ->
-      if section_enabled name then begin
+      if section_enabled cli name then begin
         banner name;
         f ()
       end)
-    sections
+    sections;
+  if cli.json then write_summary cli !scaling_rows

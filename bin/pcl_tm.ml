@@ -188,52 +188,57 @@ let liveness_cmd =
           mutual-abort livelock.")
     Term.(const run $ tm_arg)
 
+(** Enumerate all interleavings of a writer/reader pair, classifying each
+    execution by the strongest condition it satisfies.  Shared by
+    [explore] and [report]. *)
+let run_explore impl : (string * int) list * Explorer.stats =
+  let x = Item.v "x" and y = Item.v "y" in
+  let specs =
+    [
+      { Static_txn.tid = Tid.v 1; pid = 1; reads = [ x ];
+        writes = [ (x, Value.int 1); (y, Value.int 1) ] };
+      { Static_txn.tid = Tid.v 2; pid = 2; reads = [ x; y ];
+        writes = [] };
+    ]
+  in
+  let outcomes = Hashtbl.create 4 in
+  let setup mem recorder =
+    let handle =
+      Txn_api.instantiate impl mem recorder
+        ~items:(Static_txn.items_of specs)
+    in
+    List.map
+      (fun s -> (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+      specs
+  in
+  let profiles = Hashtbl.create 8 in
+  let stats =
+    Explorer.explore ~max_nodes:300_000 ~max_steps:80 setup ~pids:[ 1; 2 ]
+      ~on_execution:(fun r ->
+        let strongest =
+          match Checkers.satisfied r.Sim.history with
+          | s :: _ -> s
+          | [] -> "none"
+        in
+        Hashtbl.replace profiles strongest
+          (1 + Option.value ~default:0 (Hashtbl.find_opt profiles strongest)))
+  in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) profiles [] in
+  (List.sort compare rows, stats)
+
 let explore_cmd =
   let run tm =
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
-        let x = Item.v "x" and y = Item.v "y" in
-        let specs =
-          [
-            { Static_txn.tid = Tid.v 1; pid = 1; reads = [ x ];
-              writes = [ (x, Value.int 1); (y, Value.int 1) ] };
-            { Static_txn.tid = Tid.v 2; pid = 2; reads = [ x; y ];
-              writes = [] };
-          ]
-        in
-        let outcomes = Hashtbl.create 4 in
-        let setup mem recorder =
-          let handle =
-            Txn_api.instantiate impl mem recorder
-              ~items:(Static_txn.items_of specs)
-          in
-          List.map
-            (fun s ->
-              (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
-            specs
-        in
-        let profiles = Hashtbl.create 8 in
-        let stats =
-          Explorer.explore ~max_nodes:300_000 ~max_steps:80 setup
-            ~pids:[ 1; 2 ]
-            ~on_execution:(fun r ->
-              let strongest =
-                match Checkers.satisfied r.Sim.history with
-                | s :: _ -> s
-                | [] -> "none"
-              in
-              Hashtbl.replace profiles strongest
-                (1
-                + Option.value ~default:0 (Hashtbl.find_opt profiles strongest)))
-        in
+        let profiles, stats = run_explore impl in
         Format.printf
           "%s: %d complete interleavings (%d nodes%s), strongest condition \
            satisfied:@."
           M.name stats.Explorer.executions stats.Explorer.nodes
           (if stats.Explorer.truncated then ", truncated" else "");
-        Hashtbl.iter
-          (fun name n -> Format.printf "  %-26s %d executions@." name n)
+        List.iter
+          (fun (name, n) -> Format.printf "  %-26s %d executions@." name n)
           profiles)
       (impls_of tm)
   in
@@ -305,6 +310,100 @@ let trace_cmd =
           report which conditions it satisfies.")
     Term.(const run $ tm_arg $ schedule_arg $ show_log)
 
+type fuzz_totals = {
+  wf_bad : int;
+  of_bad : int;
+  dap_bad : int;
+  cons_bad : int;
+  stalled : int;
+}
+
+(** Fuzz one TM with random transactions and schedules, the detectors and
+    checkers as oracles.  Shared by [fuzz] and [report]. *)
+let run_fuzz impl ~iters ~seed : fuzz_totals =
+  let (module M : Tm_intf.S) = impl in
+  let st = Random.State.make [| seed |] in
+  let items = [ Item.v "x"; Item.v "y"; Item.v "z" ] in
+  let wf_bad = ref 0
+  and of_bad = ref 0
+  and dap_bad = ref 0
+  and cons_bad = ref 0
+  and stalled = ref 0 in
+  let target_checker =
+    (* weakest claim each TM makes about committed transactions *)
+    match M.name with
+    | "pram-local" -> Checkers.find_exn "pram"
+    | "si-clock" -> Checkers.find_exn "snapshot-isolation"
+    | "candidate" | "llsc-candidate" -> Checkers.find_exn "weak-adaptive"
+    | _ -> Checkers.find_exn "strict-serializability"
+  in
+  for _ = 1 to iters do
+    (* random static transactions over three items *)
+    let spec tid pid =
+      let pick () = List.nth items (Random.State.int st 3) in
+      {
+        Static_txn.tid = Tid.v tid;
+        pid;
+        reads = List.init (1 + Random.State.int st 2) (fun _ -> pick ());
+        writes =
+          List.init (1 + Random.State.int st 2) (fun i ->
+              (pick (), Value.int ((100 * tid) + i)));
+      }
+    in
+    let specs = List.init 3 (fun i -> spec (i + 1) (i + 1)) in
+    let schedule =
+      let atoms = ref [] in
+      for _ = 1 to 8 do
+        atoms :=
+          Schedule.Steps
+            (1 + Random.State.int st 3, 1 + Random.State.int st 5)
+          :: !atoms
+      done;
+      List.rev !atoms
+      @ [ Schedule.Until_done 1; Schedule.Until_done 2;
+          Schedule.Until_done 3 ]
+    in
+    let outcomes = Hashtbl.create 8 in
+    let setup mem recorder =
+      let handle =
+        Txn_api.instantiate impl mem recorder
+          ~items:(Static_txn.items_of specs)
+      in
+      List.map
+        (fun s ->
+          (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+        specs
+    in
+    let r = Sim.replay ~budget:3_000 setup schedule in
+    (match r.Sim.report.Schedule.stop with
+    | Schedule.Completed -> ()
+    | _ -> incr stalled);
+    (match History.well_formed r.Sim.history with
+    | Ok () -> ()
+    | Error _ -> incr wf_bad);
+    if
+      M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
+      && not (Obstruction_freedom.holds r.Sim.history r.Sim.log)
+    then incr of_bad;
+    if
+      List.mem M.name [ "tl-lock"; "pram-local"; "candidate" ]
+      && not
+           (Strict_dap.holds
+              ~data_sets:(Static_txn.data_sets specs)
+              r.Sim.log)
+    then incr dap_bad;
+    match target_checker.Spec.check ~budget:400_000 r.Sim.history with
+    | Spec.Unsat -> incr cons_bad
+    | Spec.Sat | Spec.Out_of_budget -> ()
+  done;
+  {
+    wf_bad = !wf_bad;
+    of_bad = !of_bad;
+    dap_bad = !dap_bad;
+    cons_bad = !cons_bad;
+    stalled = !stalled;
+  }
+
 let fuzz_cmd =
   let iters =
     Arg.(
@@ -318,84 +417,11 @@ let fuzz_cmd =
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
-        let st = Random.State.make [| seed |] in
-        let items = [ Item.v "x"; Item.v "y"; Item.v "z" ] in
-        let wf_bad = ref 0
-        and of_bad = ref 0
-        and dap_bad = ref 0
-        and cons_bad = ref 0
-        and stalled = ref 0 in
-        let target_checker =
-          (* weakest claim each TM makes about committed transactions *)
-          match M.name with
-          | "pram-local" -> Checkers.find_exn "pram"
-          | "si-clock" -> Checkers.find_exn "snapshot-isolation"
-          | "candidate" | "llsc-candidate" -> Checkers.find_exn "weak-adaptive"
-          | _ -> Checkers.find_exn "strict-serializability"
-        in
-        for _ = 1 to iters do
-          (* random static transactions over three items *)
-          let spec tid pid =
-            let pick () = List.nth items (Random.State.int st 3) in
-            {
-              Static_txn.tid = Tid.v tid;
-              pid;
-              reads = List.init (1 + Random.State.int st 2) (fun _ -> pick ());
-              writes =
-                List.init (1 + Random.State.int st 2) (fun i ->
-                    (pick (), Value.int ((100 * tid) + i)));
-            }
-          in
-          let specs = List.init 3 (fun i -> spec (i + 1) (i + 1)) in
-          let schedule =
-            let atoms = ref [] in
-            for _ = 1 to 8 do
-              atoms :=
-                Schedule.Steps
-                  (1 + Random.State.int st 3, 1 + Random.State.int st 5)
-                :: !atoms
-            done;
-            List.rev !atoms
-            @ [ Schedule.Until_done 1; Schedule.Until_done 2;
-                Schedule.Until_done 3 ]
-          in
-          let outcomes = Hashtbl.create 8 in
-          let setup mem recorder =
-            let handle =
-              Txn_api.instantiate impl mem recorder
-                ~items:(Static_txn.items_of specs)
-            in
-            List.map
-              (fun s ->
-                (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
-              specs
-          in
-          let r = Sim.replay ~budget:3_000 setup schedule in
-          (match r.Sim.report.Schedule.stop with
-          | Schedule.Completed -> ()
-          | _ -> incr stalled);
-          (match History.well_formed r.Sim.history with
-          | Ok () -> ()
-          | Error _ -> incr wf_bad);
-          if
-            M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
-            && not (Obstruction_freedom.holds r.Sim.history r.Sim.log)
-          then incr of_bad;
-          if
-            List.mem M.name [ "tl-lock"; "pram-local"; "candidate" ]
-            && not
-                 (Strict_dap.holds
-                    ~data_sets:(Static_txn.data_sets specs)
-                    r.Sim.log)
-          then incr dap_bad;
-          match target_checker.Spec.check ~budget:400_000 r.Sim.history with
-          | Spec.Unsat -> incr cons_bad
-          | Spec.Sat | Spec.Out_of_budget -> ()
-        done;
+        let t = run_fuzz impl ~iters ~seed in
         Format.printf
           "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
            violations %d, consistency-target violations %d, stalled %d@."
-          M.name iters !wf_bad !of_bad !dap_bad !cons_bad !stalled)
+          M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad t.stalled)
       (impls_of tm)
   in
   Cmd.v
@@ -407,6 +433,102 @@ let fuzz_cmd =
           may violate — that is the theorem).")
     Term.(const run $ tm_arg $ iters $ seed)
 
+(* ------------------------------------------------------------------ *)
+(* report: run a workload silently, then dump the telemetry sink. *)
+
+let report_workloads =
+  [ "mixed"; "fuzz"; "scaling"; "verdict"; "liveness"; "explore" ]
+
+(** Drive one silent workload over [impl]; all output happens through the
+    default sink. *)
+let report_drive workload ~iters ~seed impl =
+  match workload with
+  | "mixed" ->
+      ignore
+        (Workload.run impl
+           { Workload.default with txns_per_proc = iters; seed });
+      ignore (run_fuzz impl ~iters ~seed)
+  | "fuzz" -> ignore (run_fuzz impl ~iters ~seed)
+  | "scaling" ->
+      List.iter
+        (fun n_procs ->
+          List.iter
+            (fun conflict_pct ->
+              ignore
+                (Workload.run impl
+                   {
+                     Workload.default with
+                     n_procs;
+                     conflict_pct;
+                     txns_per_proc = iters;
+                     seed;
+                   }))
+            [ 0; 50; 100 ])
+        [ 2; 4; 8 ]
+  | "verdict" -> ignore (Pcl_verdict.assess impl)
+  | "liveness" -> ignore (Liveness_class.classify impl)
+  | "explore" -> ignore (run_explore impl)
+  | w -> Fmt.failwith "unknown workload %S (one of %s)" w
+           (String.concat ", " report_workloads)
+
+let report_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum (List.map (fun w -> (w, w)) report_workloads)) "mixed"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Workload to instrument: $(b,mixed) (scaling run + fuzz), \
+             $(b,fuzz), $(b,scaling) (procs x conflict grid), \
+             $(b,verdict), $(b,liveness) or $(b,explore).")
+  in
+  let iters =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "iterations" ] ~docv:"N"
+          ~doc:"Iterations (fuzz runs / txns per process).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the sink as JSONL on stdout instead of a table.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL export to $(docv).")
+  in
+  let run tm workload iters seed json output =
+    let impls = impls_of tm in
+    let sink = Sink.default in
+    Sink.reset sink;
+    Sink.set_meta sink "tool" "pcl_tm report";
+    Sink.set_meta sink "workload" workload;
+    Sink.set_meta sink "iterations" (string_of_int iters);
+    Sink.set_meta sink "seed" (string_of_int seed);
+    Sink.set_meta sink "tm"
+      (match (tm, impls) with
+      | Some _, [ (module M : Tm_intf.S) ] -> M.name
+      | _ -> "all");
+    List.iter (report_drive workload ~iters ~seed) impls;
+    (match output with Some f -> Sink.write_jsonl sink f | None -> ());
+    if json then print_string (Sink.to_jsonl sink)
+    else if output = None then Format.printf "%a@." Sink.pp_table sink
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a workload with the telemetry sink enabled and report the \
+          aggregated counters, histograms and spans — as a table, as JSONL \
+          on stdout ($(b,--json)), or to a file ($(b,-o)).")
+    Term.(const run $ tm_arg $ workload $ iters $ seed $ json $ output)
+
 let () =
   let info =
     Cmd.info "pcl_tm" ~version:"1.0"
@@ -416,4 +538,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
-            check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd ]))
+            check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
+            report_cmd ]))

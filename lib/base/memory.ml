@@ -14,15 +14,28 @@ type t = {
   mutable names : string array;
   by_name : (string, Oid.t) Hashtbl.t;
   log : Access_log.t;
+  mutable hook : (Access_log.entry -> unit) option;
+      (** called after every logged step — the shared instrumentation
+          point TM layers use to attribute base-object traffic *)
+  steps_c : Tm_obs.Metrics.counter;
+  prim_c : Tm_obs.Metrics.counter array;  (** indexed by primitive kind *)
 }
 
 let create () =
+  let m = Tm_obs.Sink.metrics Tm_obs.Sink.default in
   {
     objects = Array.make 16 (Base_object.create Value.unit);
     n_objects = 0;
     names = Array.make 16 "";
     by_name = Hashtbl.create 64;
     log = Access_log.create ();
+    hook = None;
+    steps_c = Tm_obs.Metrics.counter m "mem_steps_total";
+    prim_c =
+      Array.init Primitive.n_kinds (fun i ->
+          Tm_obs.Metrics.counter m
+            ~labels:[ ("prim", Primitive.kind_names.(i)) ]
+            "mem_prim_total");
   }
 
 let grow t =
@@ -69,9 +82,12 @@ let n_objects t = t.n_objects
 let apply t ~pid ?tid (oid : Oid.t) (prim : Primitive.t) : Value.t =
   if oid < 0 || oid >= t.n_objects then invalid_arg "Memory.apply: bad oid";
   let response, changed = Base_object.apply t.objects.(oid) prim in
-  let (_ : Access_log.entry) =
+  let entry =
     Access_log.record t.log ~pid ~tid ~oid ~prim ~response ~changed
   in
+  Tm_obs.Metrics.inc t.steps_c;
+  Tm_obs.Metrics.inc t.prim_c.(Primitive.kind_index prim);
+  (match t.hook with Some f -> f entry | None -> ());
   response
 
 (** Debugging read that is not a step and is not logged. *)
@@ -81,6 +97,13 @@ let peek t (oid : Oid.t) : Value.t =
 
 let log t = t.log
 let step_count t = Access_log.length t.log
+
+(** Install the per-step instrumentation hook (replacing any previous
+    one).  Called after each step is logged; used by {!Tm_impl.Txn_api}
+    to attribute base-object traffic to the TM under test. *)
+let set_hook t f = t.hook <- Some f
+
+let clear_hook t = t.hook <- None
 
 let pp_log ppf t =
   let name_of oid = name_of t oid in

@@ -34,4 +34,13 @@ val peek : t -> Oid.t -> Value.t
 
 val log : t -> Access_log.t
 val step_count : t -> int
+
+val set_hook : t -> (Access_log.entry -> unit) -> unit
+(** Install the per-step instrumentation hook (replacing any previous
+    one).  It runs after each step is logged — the shared point where TM
+    layers attribute base-object traffic to telemetry counters.  The hook
+    must not itself apply primitives. *)
+
+val clear_hook : t -> unit
+
 val pp_log : Format.formatter -> t -> unit

@@ -35,6 +35,26 @@ let trivial = function
 
 let non_trivial p = not (trivial p)
 
+(* stable kind indexing, used by the telemetry counters to aggregate
+   per-primitive-kind without allocating label lists on the hot path *)
+
+let n_kinds = 8
+
+let kind_index = function
+  | Read -> 0
+  | Write _ -> 1
+  | Cas _ -> 2
+  | Fetch_add _ -> 3
+  | Try_lock _ -> 4
+  | Unlock _ -> 5
+  | Load_linked _ -> 6
+  | Store_conditional _ -> 7
+
+let kind_names =
+  [| "read"; "write"; "cas"; "faa"; "trylock"; "unlock"; "ll"; "sc" |]
+
+let kind_name p = kind_names.(kind_index p)
+
 let pp_compact ppf = function
   | Read -> Fmt.string ppf "rd"
   | Write v -> Fmt.pf ppf "wr(%a)" Value.pp_compact v

@@ -35,4 +35,18 @@ val trivial : t -> bool
 
 val non_trivial : t -> bool
 
+val n_kinds : int
+(** Number of primitive kinds (constructors). *)
+
+val kind_index : t -> int
+(** Stable index of the primitive's kind, in [0, n_kinds) — used by the
+    telemetry counters to aggregate per kind without allocating on the
+    hot path. *)
+
+val kind_names : string array
+(** Kind label values, indexed by {!kind_index}: [read], [write], [cas],
+    [faa], [trylock], [unlock], [ll], [sc]. *)
+
+val kind_name : t -> string
+
 val pp_compact : Format.formatter -> t -> unit

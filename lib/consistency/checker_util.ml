@@ -11,6 +11,8 @@ let exists_com (h : History.t) (f : Tid.Set.t -> Spec.verdict) : Spec.verdict
     match seq () with
     | Seq.Nil -> if !hit_budget then Spec.Out_of_budget else Spec.Unsat
     | Seq.Cons (com, rest) -> (
+        (* search-space telemetry: one com(alpha) candidate explored *)
+        Tm_obs.Sink.incr "checker_com_candidates_total";
         match f com with
         | Spec.Sat -> Spec.Sat
         | Spec.Out_of_budget ->

@@ -3,18 +3,39 @@
 
 open Tm_trace
 
+(** Wrap a checker so every decision records its verdict, wall latency and
+    input size into the default telemetry sink (and appears as a
+    [checker.check] span). *)
+let instrument (c : Spec.checker) : Spec.checker =
+  let labels = [ ("checker", c.Spec.name) ] in
+  let check ?budget h =
+    Tm_obs.Sink.span ~labels "checker.check" (fun () ->
+        let v =
+          Tm_obs.Sink.time ~labels "checker_wall_ns" (fun () ->
+              c.Spec.check ?budget h)
+        in
+        Tm_obs.Sink.observe ~labels "checker_history_events"
+          (float_of_int (History.length h));
+        Tm_obs.Sink.incr
+          ~labels:(("verdict", Spec.verdict_to_string v) :: labels)
+          "checker_verdict_total";
+        v)
+  in
+  { c with Spec.check }
+
 let all : Spec.checker list =
-  [
-    Opacity.checker;
-    Strict_serializability.checker;
-    Serializability.checker;
-    Causal.checker;
-    Processor_consistency.checker;
-    Pram.checker;
-    Snapshot_isolation.checker;
-    Snapshot_isolation_ei.checker;
-    Weak_adaptive.checker;
-  ]
+  List.map instrument
+    [
+      Opacity.checker;
+      Strict_serializability.checker;
+      Serializability.checker;
+      Causal.checker;
+      Processor_consistency.checker;
+      Pram.checker;
+      Snapshot_isolation.checker;
+      Snapshot_isolation_ei.checker;
+      Weak_adaptive.checker;
+    ]
 
 let find name =
   List.find_opt (fun (c : Spec.checker) -> c.Spec.name = name) all

@@ -12,6 +12,12 @@
    - {!Tm_intf} .. {!Registry}: the TM implementations.
    - {!Pcl_*}: the mechanized Section-4 proof construction. *)
 
+(* observability: the telemetry layer everything below records into *)
+module Metrics = Tm_obs.Metrics
+module Span = Tm_obs.Span
+module Sink = Tm_obs.Sink
+module Obs_json = Tm_obs.Obs_json
+
 (* substrate *)
 module Value = Tm_base.Value
 module Oid = Tm_base.Oid

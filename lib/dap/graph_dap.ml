@@ -35,4 +35,13 @@ let violations ?(d = max_int) ~(data_sets : Conflict.data_sets)
       | _ -> Some { t1 = c.t1; t2 = c.t2; objects = c.objects; distance = dist })
     (Contention.all_contentions log)
 
-let holds ?d ~data_sets log = violations ?d ~data_sets log = []
+let holds ?d ~data_sets log =
+  let ok =
+    Tm_obs.Sink.time ~labels:[ ("probe", "graph-dap") ] "probe_wall_ns"
+      (fun () -> violations ?d ~data_sets log = [])
+  in
+  Tm_obs.Sink.incr
+    ~labels:
+      [ ("probe", "graph-dap"); ("result", (if ok then "holds" else "violated")) ]
+    "probe_check_total";
+  ok

@@ -66,4 +66,17 @@ let violations (h : History.t) (log : Access_log.entry list) :
           if contended then None else Some { tid; interval = (lo, hi) })
     aborted
 
-let holds h log = violations h log = []
+let holds h log =
+  let ok =
+    Tm_obs.Sink.time ~labels:[ ("probe", "obstruction-freedom") ]
+      "probe_wall_ns"
+      (fun () -> violations h log = [])
+  in
+  Tm_obs.Sink.incr
+    ~labels:
+      [
+        ("probe", "obstruction-freedom");
+        ("result", (if ok then "holds" else "violated"));
+      ]
+    "probe_check_total";
+  ok

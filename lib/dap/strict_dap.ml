@@ -27,4 +27,13 @@ let violations ~(data_sets : Conflict.data_sets)
       else Some { t1 = c.t1; t2 = c.t2; objects = c.objects })
     (Contention.all_contentions log)
 
-let holds ~data_sets log = violations ~data_sets log = []
+let holds ~data_sets log =
+  let ok =
+    Tm_obs.Sink.time ~labels:[ ("probe", "strict-dap") ] "probe_wall_ns"
+      (fun () -> violations ~data_sets log = [])
+  in
+  Tm_obs.Sink.incr
+    ~labels:
+      [ ("probe", "strict-dap"); ("result", (if ok then "holds" else "violated")) ]
+    "probe_check_total";
+  ok

@@ -1,0 +1,148 @@
+(* Named counters, gauges and histograms with labelled cardinality.
+
+   A registry maps (metric name, canonical label set) to a mutable cell.
+   Hot paths resolve a handle once ({!counter} etc.) and then pay one
+   unboxed mutation per event; occasional recorders use the one-shot
+   [incr_c]/[add_c]/[observe_h]/[set_g] conveniences, which look the cell
+   up each time.
+
+   Everything is deterministic except wall-clock observations made by the
+   callers: two identical runs produce identical counter values, which is
+   what the test suite pins down. *)
+
+type labels = (string * string) list
+
+(* canonical order so [("a","1");("b","2")] and its permutation are the
+   same time series *)
+let canon (labels : labels) : labels =
+  List.sort_uniq (fun (k1, _) (k2, _) -> compare k1 k2) labels
+
+type counter = int ref
+type gauge = float ref
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type cell_value = Counter of counter | Gauge of gauge | Hist of histogram
+
+type cell = { name : string; labels : labels; v : cell_value }
+
+type t = { cells : (string * labels, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let get_cell t name labels mk =
+  let labels = canon labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { name; labels; v = mk () } in
+      Hashtbl.add t.cells key c;
+      c
+
+let kind_error name cell wanted =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name cell)
+       wanted)
+
+let counter t ?(labels = []) name : counter =
+  match (get_cell t name labels (fun () -> Counter (ref 0))).v with
+  | Counter r -> r
+  | v -> kind_error name v "counter"
+
+let gauge t ?(labels = []) name : gauge =
+  match (get_cell t name labels (fun () -> Gauge (ref 0.))).v with
+  | Gauge r -> r
+  | v -> kind_error name v "gauge"
+
+let fresh_hist () =
+  Hist { count = 0; sum = 0.; minv = infinity; maxv = neg_infinity }
+
+let histogram t ?(labels = []) name : histogram =
+  match (get_cell t name labels fresh_hist).v with
+  | Hist h -> h
+  | v -> kind_error name v "histogram"
+
+(* handle operations *)
+let inc (c : counter) = incr c
+let add (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
+let set (g : gauge) v = g := v
+let gauge_value (g : gauge) = !g
+
+let observe (h : histogram) x =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. x;
+  if x < h.minv then h.minv <- x;
+  if x > h.maxv then h.maxv <- x
+
+(* one-shot conveniences *)
+let incr_c t ?labels name = inc (counter t ?labels name)
+let add_c t ?labels name n = add (counter t ?labels name) n
+let observe_h t ?labels name x = observe (histogram t ?labels name) x
+let set_g t ?labels name v = set (gauge t ?labels name) v
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type hist_stats = { count : int; sum : float; min : float; max : float }
+
+type value = VCounter of int | VGauge of float | VHistogram of hist_stats
+
+type sample = { name : string; labels : labels; value : value }
+
+let value_of_cell = function
+  | Counter r -> VCounter !r
+  | Gauge r -> VGauge !r
+  | Hist h ->
+      if h.count = 0 then VHistogram { count = 0; sum = 0.; min = 0.; max = 0. }
+      else
+        VHistogram { count = h.count; sum = h.sum; min = h.minv; max = h.maxv }
+
+let snapshot t : sample list =
+  Hashtbl.fold
+    (fun _ (c : cell) acc ->
+      { name = c.name; labels = c.labels; value = value_of_cell c.v } :: acc)
+    t.cells []
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+
+let find t ?(labels = []) name : value option =
+  Option.map
+    (fun c -> value_of_cell c.v)
+    (Hashtbl.find_opt t.cells (name, canon labels))
+
+let names t : string list =
+  Hashtbl.fold (fun (n, _) _ acc -> n :: acc) t.cells []
+  |> List.sort_uniq compare
+
+(** Sum of a counter over all its label sets. *)
+let sum_counters t name : int =
+  Hashtbl.fold
+    (fun (n, _) c acc ->
+      match c.v with Counter r when n = name -> acc + !r | _ -> acc)
+    t.cells 0
+
+(** Zero every cell in place.  Handles resolved before the reset stay
+    valid — they point at the same cells. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ c ->
+      match c.v with
+      | Counter r -> r := 0
+      | Gauge r -> r := 0.
+      | Hist h ->
+          h.count <- 0;
+          h.sum <- 0.;
+          h.minv <- infinity;
+          h.maxv <- neg_infinity)
+    t.cells

@@ -1,0 +1,68 @@
+(** Named counters, gauges and histograms with labelled cardinality.
+
+    A registry maps (metric name, canonical label set) to a mutable cell.
+    Hot paths resolve a handle once and pay one mutation per event; the
+    one-shot [*_c]/[*_h]/[*_g] conveniences look the cell up each time.
+
+    Metric-name conventions used across the workbench (documented in
+    docs/OBSERVABILITY.md): counters end in [_total]; histograms carry a
+    unit suffix ([_ns], [_steps], ...); labels are low-cardinality
+    ([tm], [pid], [prim], [checker], [verdict], [reason], ...). *)
+
+type labels = (string * string) list
+(** Label order is irrelevant: labels are canonicalized by key. *)
+
+val canon : labels -> labels
+(** Sort labels by key (the canonical time-series identity). *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {1 Handles — resolve once, mutate cheaply} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?labels:labels -> string -> counter
+(** @raise Invalid_argument if the name is registered with another kind. *)
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val histogram : t -> ?labels:labels -> string -> histogram
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : histogram -> float -> unit
+
+(** {1 One-shot conveniences} *)
+
+val incr_c : t -> ?labels:labels -> string -> unit
+val add_c : t -> ?labels:labels -> string -> int -> unit
+val observe_h : t -> ?labels:labels -> string -> float -> unit
+val set_g : t -> ?labels:labels -> string -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_stats = { count : int; sum : float; min : float; max : float }
+(** [min]/[max] are 0 when [count] is 0. *)
+
+type value = VCounter of int | VGauge of float | VHistogram of hist_stats
+
+type sample = { name : string; labels : labels; value : value }
+
+val snapshot : t -> sample list
+(** All cells, sorted by (name, labels) — a deterministic order. *)
+
+val find : t -> ?labels:labels -> string -> value option
+val names : t -> string list
+
+val sum_counters : t -> string -> int
+(** Sum of a counter over all its label sets. *)
+
+val reset : t -> unit
+(** Zero every cell in place; previously resolved handles stay valid. *)

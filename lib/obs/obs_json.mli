@@ -1,0 +1,30 @@
+(** A minimal JSON value type with a printer and a parser — the wire
+    format of the telemetry sink's JSONL export.  The printer never emits
+    [nan]/[infinity] (they become [null]); integers and finite floats
+    round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — JSONL-safe). *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; rejects trailing input. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] values coerce to float. *)
+
+val to_str : t -> string option

@@ -177,7 +177,12 @@ let describe_dap_violation mem_names (v : Tm_dap.Strict_dap.violation) =
 
 let assess ?budget (impl : Tm_intf.impl) : t =
   let (module M : Tm_intf.S) = impl in
-  let report = Claims.analyse ?budget impl in
+  let tm_l = [ ("tm", M.name) ] in
+  Tm_obs.Sink.span ~labels:tm_l "pcl.assess" (fun () ->
+  let report =
+    Tm_obs.Sink.time ~labels:tm_l "pcl_analyse_wall_ns" (fun () ->
+        Claims.analyse ?budget impl)
+  in
   let notes = ref [] in
   let note fmt = Fmt.kstr (fun s -> notes := s :: !notes) fmt in
   (* Parallelism: scenarios + harness logs *)
@@ -289,13 +294,23 @@ let assess ?budget (impl : Tm_intf.impl) : t =
                     else ""))
         end
   in
+  List.iter
+    (fun (leg, v) ->
+      Tm_obs.Sink.incr
+        ~labels:
+          (("leg", leg)
+          :: ("status", match v with Holds -> "holds" | Violated _ -> "violated")
+          :: tm_l)
+        "pcl_leg_total")
+    [ ("parallelism", parallelism); ("consistency", consistency);
+      ("liveness", liveness) ];
   {
     impl_name = M.name;
     parallelism;
     consistency;
     liveness;
     notes = List.rev !notes;
-  }
+  })
 
 let pp ppf (t : t) =
   Fmt.pf ppf "%-12s P: %a@\n%-12s C: %a@\n%-12s L: %a" t.impl_name pp_leg

@@ -200,7 +200,7 @@ let aborts_under_contention impl : int =
 
 (* --------------------------------------------------------------- *)
 
-let classify (impl : Tm_intf.impl) : report =
+let classify_inner (impl : Tm_intf.impl) : report =
   match solo_progress impl with
   | Stalls k ->
       {
@@ -248,3 +248,16 @@ let classify (impl : Tm_intf.impl) : report =
                    (individual progress is not bounded)"
                   aborts;
             })
+
+let classify (impl : Tm_intf.impl) : report =
+  let (module M : Tm_intf.S) = impl in
+  let r =
+    Tm_obs.Sink.span
+      ~labels:[ ("tm", M.name) ]
+      "probe.liveness_classify"
+      (fun () -> classify_inner impl)
+  in
+  Tm_obs.Sink.incr
+    ~labels:[ ("tm", M.name); ("cls", cls_to_string r.cls) ]
+    "probe_liveness_class_total";
+  r

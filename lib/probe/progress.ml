@@ -69,19 +69,30 @@ let probe_once impl ~suspend_at ~probe_pid ~probe_tid : outcome =
 
 (** Probe every suspension point of the blocker's solo run. *)
 let run (impl : Tm_intf.impl) ~(disjoint : bool) : profile =
-  let solo_outcomes = Hashtbl.create 4 in
-  let solo =
-    Sim.replay ~budget:5_000 (setup impl solo_outcomes)
-      [ Schedule.Until_done 50 ]
+  let (module M : Tm_intf.S) = impl in
+  let labels =
+    [ ("tm", M.name);
+      ("probe", (if disjoint then "disjoint" else "conflicting")) ]
   in
-  let n = solo.Sim.steps_of 50 in
-  let probe_pid, probe_tid = if disjoint then (52, 52) else (51, 51) in
-  let profile = { points = n; commits = 0; aborts = 0; stalls = 0 } in
-  List.fold_left
-    (fun acc k ->
-      match probe_once impl ~suspend_at:k ~probe_pid ~probe_tid with
-      | Commit -> { acc with commits = acc.commits + 1 }
-      | Abort -> { acc with aborts = acc.aborts + 1 }
-      | Stall -> { acc with stalls = acc.stalls + 1 })
-    profile
-    (List.init (max n 1) (fun k -> k))
+  Tm_obs.Sink.span ~labels "probe.progress" (fun () ->
+      let solo_outcomes = Hashtbl.create 4 in
+      let solo =
+        Sim.replay ~budget:5_000 (setup impl solo_outcomes)
+          [ Schedule.Until_done 50 ]
+      in
+      let n = solo.Sim.steps_of 50 in
+      let probe_pid, probe_tid = if disjoint then (52, 52) else (51, 51) in
+      let profile = { points = n; commits = 0; aborts = 0; stalls = 0 } in
+      let profile =
+        List.fold_left
+          (fun acc k ->
+            match probe_once impl ~suspend_at:k ~probe_pid ~probe_tid with
+            | Commit -> { acc with commits = acc.commits + 1 }
+            | Abort -> { acc with aborts = acc.aborts + 1 }
+            | Stall -> { acc with stalls = acc.stalls + 1 })
+          profile
+          (List.init (max n 1) (fun k -> k))
+      in
+      Tm_obs.Sink.add ~labels "probe_progress_points_total" profile.points;
+      Tm_obs.Sink.add ~labels "probe_progress_stalls_total" profile.stalls;
+      profile)

@@ -96,6 +96,9 @@ let client cfg (handle : Txn_api.handle) ~pid ~commits ~aborts () =
 (** Run the workload under a fair round-robin schedule (one step per
     process per turn) and collect the statistics. *)
 let run (impl : Tm_intf.impl) (cfg : config) : stats =
+  let (module M : Tm_intf.S) = impl in
+  let tm_l = [ ("tm", M.name) ] in
+  Tm_obs.Sink.span ~labels:tm_l "workload.run" (fun () ->
   let mem = Memory.create () in
   let recorder = Recorder.create () in
   let handle = Txn_api.instantiate impl mem recorder ~items:(items_for cfg) in
@@ -140,11 +143,23 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
         not (Conflict.conflict data_sets c.Contention.t1 c.Contention.t2))
       contentions
   in
-  {
-    steps = List.length log;
-    commits = !commits;
-    aborts = !aborts;
-    contentions = List.length contentions;
-    disjoint_contentions = List.length disjoint;
-    completed;
-  }
+  let stats =
+    {
+      steps = List.length log;
+      commits = !commits;
+      aborts = !aborts;
+      contentions = List.length contentions;
+      disjoint_contentions = List.length disjoint;
+      completed;
+    }
+  in
+  Tm_obs.Sink.incr ~labels:tm_l "workload_runs_total";
+  Tm_obs.Sink.add ~labels:tm_l "workload_steps_total" stats.steps;
+  Tm_obs.Sink.add ~labels:tm_l "workload_commits_total" stats.commits;
+  Tm_obs.Sink.add ~labels:tm_l "workload_aborts_total" stats.aborts;
+  Tm_obs.Sink.add ~labels:tm_l "workload_contentions_total" stats.contentions;
+  Tm_obs.Sink.add ~labels:tm_l "workload_disjoint_contentions_total"
+    stats.disjoint_contentions;
+  if not stats.completed then
+    Tm_obs.Sink.incr ~labels:tm_l "workload_stalled_total";
+  stats)

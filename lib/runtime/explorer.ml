@@ -49,7 +49,10 @@ let explore ?(max_steps = 200) ?(max_executions = 100_000)
           unfinished
     end
   in
-  dfs [] 0;
+  Tm_obs.Sink.span "explorer.explore" (fun () -> dfs [] 0);
+  Tm_obs.Sink.add "explorer_nodes_total" stats.nodes;
+  Tm_obs.Sink.add "explorer_executions_total" stats.executions;
+  if stats.truncated then Tm_obs.Sink.incr "explorer_truncated_total";
   stats
 
 (** [for_all setup ~pids prop] — does [prop] hold of every complete bounded

@@ -22,6 +22,11 @@ let pp ppf atoms = Fmt.(list ~sep:(any " . ") pp_atom) ppf atoms
 (** Execute a schedule on a scheduler.  [budget] bounds each [Until_done]
     segment (a segment that exhausts it reports [Budget_exhausted pid] and
     stops the schedule — the liveness-failure signal). *)
+let stop_reason = function
+  | Completed -> "completed"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Crashed _ -> "crashed"
+
 let run (sched : Scheduler.t) ?(budget = 100_000) (atoms : atom list) :
     report =
   let rec go acc = function
@@ -43,4 +48,9 @@ let run (sched : Scheduler.t) ?(budget = 100_000) (atoms : atom list) :
         | Scheduler.Crash e ->
             { stop = Crashed (pid, e); steps_per_atom = List.rev acc })
   in
-  go [] atoms
+  let report = go [] atoms in
+  Tm_obs.Sink.add "schedule_atoms_total" (List.length atoms);
+  Tm_obs.Sink.incr
+    ~labels:[ ("reason", stop_reason report.stop) ]
+    "schedule_stop_total";
+  report

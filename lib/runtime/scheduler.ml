@@ -25,6 +25,7 @@ let memory t = t.mem
 let spawn t ~pid f =
   if Hashtbl.mem t.cells pid then
     invalid_arg (Printf.sprintf "Scheduler.spawn: pid %d already exists" pid);
+  Tm_obs.Sink.incr "sched_spawn_total";
   Hashtbl.replace t.cells pid { pid; status = Not_started f }
 
 let cell t pid =
@@ -36,7 +37,10 @@ let cell t pid =
 let handler (c : cell) : (unit, unit) Effect.Deep.handler =
   {
     retc = (fun () -> c.status <- Finished);
-    exnc = (fun e -> c.status <- Failed e);
+    exnc =
+      (fun e ->
+        Tm_obs.Sink.incr "sched_crash_total";
+        c.status <- Failed e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with

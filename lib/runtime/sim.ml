@@ -24,23 +24,46 @@ type result = {
 let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list) :
     result =
   let mem = Memory.create () in
-  let recorder = Recorder.create () in
-  let programs = setup mem recorder in
-  let sched = Scheduler.create mem in
-  List.iter (fun (pid, f) -> Scheduler.spawn sched ~pid f) programs;
-  let report = Schedule.run sched ~budget atoms in
-  let log = Access_log.entries (Memory.log mem) in
-  let steps_of pid =
-    List.length (List.filter (fun e -> e.Access_log.pid = pid) log)
-  in
-  {
-    mem;
-    history = Recorder.history recorder;
-    log;
-    report;
-    finished = (fun pid -> Scheduler.finished sched pid);
-    steps_of;
-  }
+  Tm_obs.Sink.incr "sim_replay_total";
+  (* bind the span step clock to this replay's memory so nested spans
+     (e.g. checker calls made from a probe) report step durations *)
+  Tm_obs.Sink.with_step_source
+    (fun () -> Memory.step_count mem)
+    (fun () ->
+      Tm_obs.Sink.span "sim.replay" (fun () ->
+          let recorder = Recorder.create () in
+          let programs = setup mem recorder in
+          let sched = Scheduler.create mem in
+          List.iter (fun (pid, f) -> Scheduler.spawn sched ~pid f) programs;
+          let report = Schedule.run sched ~budget atoms in
+          let log = Access_log.entries (Memory.log mem) in
+          Tm_obs.Sink.observe "sim_replay_steps"
+            (float_of_int (List.length log));
+          (* per-pid step attribution, from the authoritative log *)
+          let per_pid = Hashtbl.create 8 in
+          List.iter
+            (fun e ->
+              let pid = e.Access_log.pid in
+              Hashtbl.replace per_pid pid
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_pid pid)))
+            log;
+          Hashtbl.iter
+            (fun pid n ->
+              Tm_obs.Sink.add
+                ~labels:[ ("pid", string_of_int pid) ]
+                "sched_pid_steps_total" n)
+            per_pid;
+          let steps_of pid =
+            Option.value ~default:0 (Hashtbl.find_opt per_pid pid)
+          in
+          {
+            mem;
+            history = Recorder.history recorder;
+            log;
+            report;
+            finished = (fun pid -> Scheduler.finished sched pid);
+            steps_of;
+          }))
 
 (** [solo_length setup pid] — number of steps [pid]'s program needs to run
     solo from C_0 to completion, or [None] if it exceeds the budget. *)

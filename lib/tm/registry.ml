@@ -16,8 +16,20 @@ let all : Tm_intf.impl list =
 let name (module M : Tm_intf.S) = M.name
 let describe (module M : Tm_intf.S) = M.describe
 
+let is_prefix p s =
+  String.length p <= String.length s && String.sub s 0 (String.length p) = p
+
+(** Exact name match first; otherwise a unique prefix resolves too, so
+    [tl2] finds [tl2-clock] (while [tl] stays ambiguous). *)
 let find n : Tm_intf.impl option =
-  List.find_opt (fun (module M : Tm_intf.S) -> M.name = n) all
+  match List.find_opt (fun (module M : Tm_intf.S) -> M.name = n) all with
+  | Some _ as hit -> hit
+  | None -> (
+      match
+        List.filter (fun (module M : Tm_intf.S) -> is_prefix n M.name) all
+      with
+      | [ impl ] -> Some impl
+      | _ -> None)
 
 let find_exn n =
   match find n with

@@ -5,4 +5,7 @@ val all : Tm_intf.impl list
 val name : Tm_intf.impl -> string
 val describe : Tm_intf.impl -> string
 val find : string -> Tm_intf.impl option
+(** Exact name match, or a unique-prefix match ([tl2] resolves to
+    [tl2-clock]; ambiguous prefixes like [tl] do not resolve). *)
+
 val find_exn : string -> Tm_intf.impl

@@ -35,11 +35,43 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
     incr tid_counter;
     Tid.v (50_000 + !tid_counter)
   in
+  (* telemetry: every TM is instrumented identically here, and the memory
+     hook attributes every base-object step to the TM under test *)
+  let metrics = Tm_obs.Sink.metrics Tm_obs.Sink.default in
+  let tm_l = [ ("tm", M.name) ] in
+  let c_of name = Tm_obs.Metrics.counter metrics ~labels:tm_l name in
+  let c_begin = c_of "tm_begin_total"
+  and c_read = c_of "tm_read_total"
+  and c_write = c_of "tm_write_total"
+  and c_commit = c_of "tm_commit_total"
+  and c_abort = c_of "tm_abort_total"
+  and c_retry = c_of "tm_retry_total" in
+  let c_prim =
+    Array.init Primitive.n_kinds (fun i ->
+        Tm_obs.Metrics.counter metrics
+          ~labels:(("prim", Primitive.kind_names.(i)) :: tm_l)
+          "tm_mem_prim_total")
+  in
+  Memory.set_hook mem (fun e ->
+      Tm_obs.Metrics.inc c_prim.(Primitive.kind_index e.Access_log.prim));
+  (* a begin on a pid whose previous transaction aborted is a retry (the
+     paper's restart model) *)
+  let last_aborted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let aborted pid =
+    Tm_obs.Metrics.inc c_abort;
+    Hashtbl.replace last_aborted pid ()
+  in
   let begin_txn ~pid ~tid =
+    Tm_obs.Metrics.inc c_begin;
+    if Hashtbl.mem last_aborted pid then begin
+      Tm_obs.Metrics.inc c_retry;
+      Hashtbl.remove last_aborted pid
+    end;
     Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Begin;
     let ctx = M.begin_txn t ~pid ~tid in
     Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Begin Event.R_ok;
     let read x =
+      Tm_obs.Metrics.inc c_read;
       Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Read x);
       match M.read ctx x with
       | Ok v ->
@@ -47,11 +79,13 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
             (Event.R_value v);
           Ok v
       | Error () ->
+          aborted pid;
           Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
             Event.R_aborted;
           Error ()
     in
     let write x v =
+      Tm_obs.Metrics.inc c_write;
       Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v));
       match M.write ctx x v with
       | Ok () ->
@@ -59,6 +93,7 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
             Event.R_ok;
           Ok ()
       | Error () ->
+          aborted pid;
           Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
             Event.R_aborted;
           Error ()
@@ -67,10 +102,12 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
       Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Try_commit;
       match M.try_commit ctx with
       | Ok () ->
+          Tm_obs.Metrics.inc c_commit;
           Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Try_commit
             Event.R_committed;
           Ok ()
       | Error () ->
+          aborted pid;
           Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Try_commit
             Event.R_aborted;
           Error ()
@@ -78,6 +115,7 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
     let abort () =
       Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Abort_call;
       M.abort ctx;
+      aborted pid;
       Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Abort_call
         Event.R_aborted
     in

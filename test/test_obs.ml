@@ -1,0 +1,235 @@
+(* The telemetry layer: metric aggregation, span nesting, the JSONL
+   export round-trip, and the simulator integration (step counters must
+   agree with the replay's own accounting). *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* counters *)
+
+let test_counter_aggregation () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests_total" ~labels:[ ("tm", "a") ] in
+  Metrics.inc c;
+  Metrics.inc c;
+  Metrics.add c 3;
+  Alcotest.(check int) "handle value" 5 (Metrics.counter_value c);
+  (* label order is irrelevant: same cell either way *)
+  Metrics.incr_c m "multi_total" ~labels:[ ("x", "1"); ("y", "2") ];
+  Metrics.incr_c m "multi_total" ~labels:[ ("y", "2"); ("x", "1") ];
+  Alcotest.(check (option (of_pp Fmt.nop)))
+    "canonical labels merge"
+    (Some (Metrics.VCounter 2))
+    (Metrics.find m "multi_total" ~labels:[ ("x", "1"); ("y", "2") ]);
+  (* one-shots hit the same cell as the handle *)
+  Metrics.incr_c m "requests_total" ~labels:[ ("tm", "a") ];
+  Alcotest.(check int) "one-shot merges" 6 (Metrics.counter_value c);
+  (* sum over label sets *)
+  Metrics.add_c m "requests_total" ~labels:[ ("tm", "b") ] 10;
+  Alcotest.(check int) "sum_counters" 16
+    (Metrics.sum_counters m "requests_total");
+  (* kind mismatch is a programming error *)
+  (try
+     ignore (Metrics.gauge m "requests_total" ~labels:[ ("tm", "a") ]);
+     Alcotest.fail "expected Invalid_argument on kind mismatch"
+   with Invalid_argument _ -> ());
+  (* reset zeroes in place; the old handle stays usable *)
+  Metrics.reset m;
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c);
+  Metrics.inc c;
+  Alcotest.(check int) "handle survives reset" 1 (Metrics.counter_value c)
+
+let test_histogram_stats () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "latency_ns" in
+  List.iter (Metrics.observe h) [ 5.0; 1.0; 3.0 ];
+  (match Metrics.find m "latency_ns" with
+  | Some (Metrics.VHistogram s) ->
+      Alcotest.(check int) "count" 3 s.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 9.0 s.Metrics.sum;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+      Alcotest.(check (float 1e-9)) "max" 5.0 s.Metrics.max
+  | _ -> Alcotest.fail "expected histogram");
+  (* snapshot is sorted and typed *)
+  Metrics.incr_c m "a_total";
+  (match Metrics.snapshot m with
+  | [ a; l ] ->
+      Alcotest.(check string) "sorted first" "a_total" a.Metrics.name;
+      Alcotest.(check string) "sorted second" "latency_ns" l.Metrics.name
+  | _ -> Alcotest.fail "expected two samples")
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+let test_span_nesting () =
+  let now = ref 0.0 and steps = ref 0 in
+  let t = Span.create ~clock:(fun () -> !now) ~steps:(fun () -> !steps) () in
+  let r =
+    Span.with_ t "outer" (fun () ->
+        steps := 2;
+        let inner =
+          Span.with_ t ~labels:[ ("k", "v") ] "inner" (fun () ->
+              now := 0.001;
+              steps := 5;
+              42)
+        in
+        steps := 7;
+        inner)
+  in
+  Alcotest.(check int) "thunk result" 42 r;
+  match Span.spans t with
+  | [ inner; outer ] ->
+      (* inner completes first *)
+      Alcotest.(check string) "inner name" "inner" inner.Span.name;
+      Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+      Alcotest.(check int) "inner seq" 0 inner.Span.seq;
+      Alcotest.(check int) "inner start" 2 inner.Span.start_step;
+      Alcotest.(check int) "inner end" 5 inner.Span.end_step;
+      Alcotest.(check int) "inner steps" 3 (Span.steps_of inner);
+      Alcotest.(check int) "inner wall" 1_000_000 inner.Span.wall_ns;
+      Alcotest.(check string) "outer name" "outer" outer.Span.name;
+      Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+      Alcotest.(check int) "outer steps" 7 (Span.steps_of outer)
+  | l -> Alcotest.failf "expected two spans, got %d" (List.length l)
+
+let test_span_cap () =
+  let t = Span.create ~cap:2 ~clock:(fun () -> 0.0) () in
+  for _ = 1 to 5 do
+    Span.with_ t "s" (fun () -> ())
+  done;
+  Alcotest.(check int) "kept" 2 (Span.count t);
+  Alcotest.(check int) "dropped" 3 (Span.dropped t)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export *)
+
+let test_jsonl_roundtrip () =
+  let sink = Sink.default in
+  Sink.reset sink;
+  Sink.set_meta sink "tool" "test";
+  Sink.incr ~labels:[ ("tm", "x") ] "roundtrip_total";
+  Sink.observe "roundtrip_ns" 125.5;
+  Sink.span "roundtrip.span" (fun () -> ());
+  let lines =
+    String.split_on_char '\n' (String.trim (Sink.to_jsonl sink))
+  in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  (* every line parses, and re-printing reproduces it exactly *)
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs_json.parse line with
+        | Ok j ->
+            Alcotest.(check string) "reprint" line (Obs_json.to_string j);
+            j
+        | Error e -> Alcotest.failf "parse error on %s: %s" line e)
+      lines
+  in
+  let typ j = Option.bind (Obs_json.member "type" j) Obs_json.to_str in
+  (match parsed with
+  | run :: _ ->
+      Alcotest.(check (option string)) "run line" (Some "run") (typ run);
+      Alcotest.(check (option string))
+        "meta" (Some "test")
+        Option.(
+          bind (Obs_json.member "meta" run) (Obs_json.member "tool")
+          |> Fun.flip bind Obs_json.to_str)
+  | [] -> Alcotest.fail "no lines");
+  let metric name =
+    List.find
+      (fun j ->
+        typ j = Some "metric"
+        && Option.bind (Obs_json.member "name" j) Obs_json.to_str = Some name)
+      parsed
+  in
+  let c = metric "roundtrip_total" in
+  Alcotest.(check (option int)) "counter value" (Some 1)
+    (Option.bind (Obs_json.member "value" c) Obs_json.to_int);
+  Alcotest.(check (option string)) "counter label" (Some "x")
+    Option.(
+      bind (Obs_json.member "labels" c) (Obs_json.member "tm")
+      |> Fun.flip bind Obs_json.to_str);
+  let h = metric "roundtrip_ns" in
+  Alcotest.(check (option (float 1e-9))) "hist sum" (Some 125.5)
+    (Option.bind (Obs_json.member "sum" h) Obs_json.to_float);
+  let span =
+    List.find (fun j -> typ j = Some "span") parsed
+  in
+  Alcotest.(check (option string)) "span name" (Some "roundtrip.span")
+    (Option.bind (Obs_json.member "name" span) Obs_json.to_str);
+  Sink.reset sink
+
+(* ------------------------------------------------------------------ *)
+(* simulator integration: replay counters agree with the replay itself *)
+
+let test_replay_counters () =
+  let sink = Sink.default in
+  Sink.reset sink;
+  let x = Item.v "x" in
+  let specs =
+    [
+      { Static_txn.tid = Tid.v 1; pid = 1; reads = [];
+        writes = [ (x, Value.int 1) ] };
+      { Static_txn.tid = Tid.v 2; pid = 2; reads = [ x ]; writes = [] };
+    ]
+  in
+  let impl = Registry.find_exn "tl-lock" in
+  let outcomes = Hashtbl.create 4 in
+  let setup mem recorder =
+    let handle =
+      Txn_api.instantiate impl mem recorder ~items:(Static_txn.items_of specs)
+    in
+    List.map
+      (fun s -> (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+      specs
+  in
+  let r =
+    Sim.replay ~budget:1_000 setup
+      [ Schedule.Until_done 1; Schedule.Until_done 2 ]
+  in
+  let m = Sink.metrics sink in
+  let n_steps = List.length r.Sim.log in
+  Alcotest.(check int) "mem_steps_total = |log|" n_steps
+    (Metrics.sum_counters m "mem_steps_total");
+  Alcotest.(check int) "per-pid steps sum to |log|" n_steps
+    (Metrics.sum_counters m "sched_pid_steps_total");
+  Alcotest.(check int) "per-pid matches steps_of" (r.Sim.steps_of 1)
+    (match
+       Metrics.find m "sched_pid_steps_total" ~labels:[ ("pid", "1") ]
+     with
+    | Some (Metrics.VCounter n) -> n
+    | _ -> -1);
+  Alcotest.(check int) "one replay" 1
+    (Metrics.sum_counters m "sim_replay_total");
+  Alcotest.(check int) "both txns committed" 2
+    (Metrics.sum_counters m "tm_commit_total");
+  Alcotest.(check int) "prim counts also sum to |log|" n_steps
+    (Metrics.sum_counters m "mem_prim_total");
+  (* the replay span was recorded with step bounds *)
+  (match
+     List.filter (fun s -> s.Span.name = "sim.replay")
+       (Span.spans (Sink.tracer sink))
+   with
+  | [ s ] -> Alcotest.(check int) "span steps" n_steps (Span.steps_of s)
+  | l -> Alcotest.failf "expected one sim.replay span, got %d" (List.length l));
+  Sink.reset sink
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter aggregation" `Quick
+            test_counter_aggregation;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "cap" `Quick test_span_cap;
+        ] );
+      ( "sink",
+        [ Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip ] );
+      ( "sim",
+        [ Alcotest.test_case "replay counters" `Quick test_replay_counters ] );
+    ]
