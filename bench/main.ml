@@ -16,6 +16,7 @@
      triangle    the Section-5 triangle verdicts (T-A)
      scaling     disjoint vs conflicting throughput sweep (T-B)
      checkers    decision-procedure microbenchmarks, bechamel (T-C)
+     flight      flight-recorder overhead on the mixed workload
      hierarchy   the anomaly x checker separation matrix (T-D)
 *)
 
@@ -285,6 +286,52 @@ let liveness () =
     Registry.all
 
 (* ------------------------------------------------------------------ *)
+(* flight-recorder overhead: the mixed workload with recording off vs on.
+   "off" is the shipping default — the only instrumentation on that path
+   is a hook-installed check per Memory.apply. *)
+
+let flight_overhead ~iters ~seed () =
+  let cfg =
+    { Workload.default with Workload.conflict_pct = 50;
+      txns_per_proc = iters; seed }
+  in
+  let time f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      ignore (f ());
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Format.printf
+    "mixed workload (conflict 50%%, %d txns/proc), best of 5 runs:@." iters;
+  Format.printf "%-12s %10s %14s %14s %9s@." "TM" "steps" "off ns/step"
+    "on ns/step" "overhead";
+  List.iter
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      let steps = ref 1 in
+      let off =
+        time (fun () ->
+            let s = Workload.run impl cfg in
+            steps := max 1 s.Workload.steps)
+      in
+      let fl = Flight.create () in
+      let on =
+        time (fun () ->
+            Flight.with_recorder fl (fun () -> Workload.run impl cfg))
+      in
+      let ns t = t *. 1e9 /. float_of_int !steps in
+      Format.printf "%-12s %10d %14.1f %14.1f %8.1f%%@." M.name !steps
+        (ns off) (ns on)
+        ((on -. off) /. off *. 100.))
+    [ Registry.find_exn "tl-lock"; Registry.find_exn "candidate" ]
+
+(* ------------------------------------------------------------------ *)
 (* T-D: hierarchy matrix *)
 
 let hierarchy () =
@@ -380,6 +427,7 @@ let () =
         fun () ->
           scaling_rows := scaling ~iters:cli.iters ~seed:cli.seed () );
       ("checkers", checkers);
+      ("flight", fun () -> flight_overhead ~iters:cli.iters ~seed:cli.seed ());
       ("hierarchy", hierarchy);
       ("progress", progress);
       ("liveness", liveness);

@@ -20,9 +20,17 @@ let tm_arg =
 let impls_of = function
   | None -> Registry.all
   | Some n -> (
-      match Registry.find n with
-      | Some i -> [ i ]
-      | None -> Fmt.failwith "unknown TM %S (try `pcl_tm list')" n)
+      match Registry.lookup n with
+      | Registry.Found i -> [ i ]
+      | Registry.Ambiguous candidates ->
+          Fmt.failwith "ambiguous TM %S: matches %s" n
+            (String.concat ", " candidates)
+      | Registry.Unknown -> Fmt.failwith "unknown TM %S (try `pcl_tm list')" n)
+
+let width_arg =
+  Arg.(
+    value & opt int 72
+    & info [ "width" ] ~docv:"COLS" ~doc:"Timeline band width in columns.")
 
 (* ------------------------------------------------------------------ *)
 
@@ -60,19 +68,39 @@ let verdict_cmd =
     Term.(const run $ tm_arg)
 
 let figures_cmd =
-  let run tm =
+  let render =
+    Arg.(
+      value & flag
+      & info [ "render" ]
+          ~doc:
+            "Render Figures 1-6 as per-process timeline art (flight-recorder \
+             replays with the critical steps s1/s2 highlighted) instead of \
+             the textual claims report.")
+  in
+  let run tm render width =
     List.iter
       (fun impl ->
-        let report = Pcl_claims.analyse impl in
-        Format.printf "%a@." Pcl_figures.pp_report report)
+        if render then begin
+          let (module M : Tm_intf.S) = impl in
+          match Pcl_constructions.build impl with
+          | Error f ->
+              Format.printf "=== %s: construction stopped: %a@.@." M.name
+                Pcl_constructions.pp_failure f
+          | Ok c ->
+              Format.printf "=== PCL figures for %s ===@.%s@." M.name
+                (Pcl_figures.render_constructions ~width c)
+        end
+        else
+          let report = Pcl_claims.analyse impl in
+          Format.printf "%a@." Pcl_figures.pp_report report)
       (impls_of tm)
   in
   Cmd.v
     (Cmd.info "figures"
        ~doc:
          "Re-enact the proof construction (Figures 1-6, Claims 1-5) against \
-          a TM.")
-    Term.(const run $ tm_arg)
+          a TM; $(b,--render) draws them as step-level timelines.")
+    Term.(const run $ tm_arg $ render $ width_arg)
 
 let anomalies_cmd =
   let run () =
@@ -188,10 +216,32 @@ let liveness_cmd =
           mutual-abort livelock.")
     Term.(const run $ tm_arg)
 
+(* --record / --dump-dir: dump failing executions as replayable
+   flight-recorder artifacts *)
+
+let record_arg =
+  Arg.(
+    value & flag
+    & info [ "record" ]
+        ~doc:
+          "Record executions with the flight recorder and dump every \
+           violating one as a replayable .trace.jsonl artifact (see \
+           $(b,--dump-dir) and `pcl_tm explain').")
+
+let dump_dir_arg =
+  Arg.(
+    value & opt string "traces"
+    & info [ "dump-dir" ] ~docv:"DIR"
+        ~doc:"Directory for dumped trace artifacts (created if missing).")
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
 (** Enumerate all interleavings of a writer/reader pair, classifying each
     execution by the strongest condition it satisfies.  Shared by
-    [explore] and [report]. *)
-let run_explore impl : (string * int) list * Explorer.stats =
+    [explore] and [report].  With [dump_dir], the first execution
+    satisfying nothing at all is dumped as a trace artifact. *)
+let run_explore ?dump_dir impl :
+    (string * int) list * Explorer.stats * string list =
   let x = Item.v "x" and y = Item.v "y" in
   let specs =
     [
@@ -212,7 +262,29 @@ let run_explore impl : (string * int) list * Explorer.stats =
       specs
   in
   let profiles = Hashtbl.create 8 in
-  let stats =
+  let dumped = ref [] in
+  let dump_violation (r : Sim.result) =
+    match (dump_dir, Flight.default ()) with
+    | Some dir, Some fl when !dumped = [] ->
+        (* even the weakest condition rejects this execution; its unsat
+           core is the provenance to attach *)
+        let weakest = List.nth Checkers.all (List.length Checkers.all - 1) in
+        (match
+           Provenance.of_unsat ~log:r.Sim.log weakest r.Sim.history
+         with
+        | Some p -> Flight.add_verdict fl (Provenance.to_flight p)
+        | None -> ());
+        Flight.set_meta fl "tm" (Registry.name impl);
+        Flight.set_meta fl "workload" "explore";
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "explore-%s.trace.jsonl" (Registry.name impl))
+        in
+        Flight.write_jsonl fl path;
+        dumped := [ path ]
+    | _ -> ()
+  in
+  let explore () =
     Explorer.explore ~max_nodes:300_000 ~max_steps:80 setup ~pids:[ 1; 2 ]
       ~on_execution:(fun r ->
         let strongest =
@@ -220,34 +292,58 @@ let run_explore impl : (string * int) list * Explorer.stats =
           | s :: _ -> s
           | [] -> "none"
         in
+        if strongest = "none" then dump_violation r;
         Hashtbl.replace profiles strongest
           (1 + Option.value ~default:0 (Hashtbl.find_opt profiles strongest)))
   in
+  let stats =
+    match dump_dir with
+    | Some dir ->
+        ensure_dir dir;
+        Flight.with_recorder (Flight.create ()) explore
+    | None -> explore ()
+  in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) profiles [] in
-  (List.sort compare rows, stats)
+  (List.sort compare rows, stats, !dumped)
 
 let explore_cmd =
-  let run tm =
+  let run tm record dump_dir =
+    let violations = ref 0 in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
-        let profiles, stats = run_explore impl in
+        let profiles, stats, dumped =
+          run_explore ?dump_dir:(if record then Some dump_dir else None) impl
+        in
         Format.printf
           "%s: %d complete interleavings (%d nodes%s), strongest condition \
            satisfied:@."
           M.name stats.Explorer.executions stats.Explorer.nodes
           (if stats.Explorer.truncated then ", truncated" else "");
         List.iter
-          (fun (name, n) -> Format.printf "  %-26s %d executions@." name n)
-          profiles)
-      (impls_of tm)
+          (fun (name, n) ->
+            if name = "none" then violations := !violations + n;
+            Format.printf "  %-26s %d executions@." name n)
+          profiles;
+        List.iter
+          (fun path -> Format.printf "  violating trace dumped to %s@." path)
+          dumped)
+      (impls_of tm);
+    if !violations > 0 then begin
+      Format.printf
+        "%d execution(s) satisfy no consistency condition at all@."
+        !violations;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Enumerate all interleavings of a writer/reader pair and classify \
-          each execution by the strongest condition it satisfies.")
-    Term.(const run $ tm_arg)
+          each execution by the strongest condition it satisfies.  Exits \
+          non-zero if some execution satisfies nothing; with $(b,--record) \
+          the first such execution is dumped as a replayable trace.")
+    Term.(const run $ tm_arg $ record_arg $ dump_dir_arg)
 
 let trace_cmd =
   let schedule_arg =
@@ -263,24 +359,6 @@ let trace_cmd =
   let show_log =
     Arg.(value & flag & info [ "log" ] ~doc:"Also dump the step-level access log.")
   in
-  let parse_schedule s =
-    String.split_on_char ',' s
-    |> List.map (fun tok ->
-           match String.split_on_char ':' (String.trim tok) with
-           | [ p; spec ] when String.length p > 1 && p.[0] = 'p' -> (
-               let pid =
-                 match int_of_string_opt (String.sub p 1 (String.length p - 1)) with
-                 | Some pid -> pid
-                 | None -> Fmt.failwith "bad process in %S" tok
-               in
-               match spec with
-               | "*" -> Schedule.Until_done pid
-               | n -> (
-                   match int_of_string_opt n with
-                   | Some n -> Schedule.Steps (pid, n)
-                   | None -> Fmt.failwith "bad step count in %S" tok))
-           | _ -> Fmt.failwith "bad schedule token %S (want pN:K or pN:*)" tok)
-  in
   let run tm schedule show_log =
     let impl =
       match tm with
@@ -288,7 +366,11 @@ let trace_cmd =
       | None -> Registry.find_exn "candidate"
     in
     let (module M : Tm_intf.S) = impl in
-    let atoms = parse_schedule schedule in
+    let atoms =
+      match Schedule.of_string schedule with
+      | Ok atoms -> atoms
+      | Error msg -> Fmt.failwith "%s" msg
+    in
     let r = Pcl_harness.run impl atoms in
     Format.printf "# %s under %a@." M.name Schedule.pp atoms;
     Format.printf "%s@." (Wire.print r.Pcl_harness.sim.Sim.history);
@@ -316,11 +398,16 @@ type fuzz_totals = {
   dap_bad : int;
   cons_bad : int;
   stalled : int;
+  dumped : string list;  (** trace artifacts written for violating runs *)
 }
 
+let fuzz_violations t = t.wf_bad + t.of_bad + t.dap_bad + t.cons_bad
+
 (** Fuzz one TM with random transactions and schedules, the detectors and
-    checkers as oracles.  Shared by [fuzz] and [report]. *)
-let run_fuzz impl ~iters ~seed : fuzz_totals =
+    checkers as oracles.  Shared by [fuzz] and [report].  With [dump_dir],
+    every violating execution is dumped as a replayable trace artifact
+    with its verdict provenance attached. *)
+let run_fuzz ?dump_dir impl ~iters ~seed : fuzz_totals =
   let (module M : Tm_intf.S) = impl in
   let st = Random.State.make [| seed |] in
   let items = [ Item.v "x"; Item.v "y"; Item.v "z" ] in
@@ -328,7 +415,8 @@ let run_fuzz impl ~iters ~seed : fuzz_totals =
   and of_bad = ref 0
   and dap_bad = ref 0
   and cons_bad = ref 0
-  and stalled = ref 0 in
+  and stalled = ref 0
+  and dumped = ref [] in
   let target_checker =
     (* weakest claim each TM makes about committed transactions *)
     match M.name with
@@ -337,7 +425,7 @@ let run_fuzz impl ~iters ~seed : fuzz_totals =
     | "candidate" | "llsc-candidate" -> Checkers.find_exn "weak-adaptive"
     | _ -> Checkers.find_exn "strict-serializability"
   in
-  for _ = 1 to iters do
+  let iteration i =
     (* random static transactions over three items *)
     let spec tid pid =
       let pick () = List.nth items (Random.State.int st 3) in
@@ -378,30 +466,124 @@ let run_fuzz impl ~iters ~seed : fuzz_totals =
     (match r.Sim.report.Schedule.stop with
     | Schedule.Completed -> ()
     | _ -> incr stalled);
+    (* every oracle that fires contributes a verdict-provenance line to
+       the dumped artifact *)
+    let verdicts = ref [] in
+    let add v = verdicts := v :: !verdicts in
     (match History.well_formed r.Sim.history with
     | Ok () -> ()
-    | Error _ -> incr wf_bad);
-    if
-      M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
-      && not (Obstruction_freedom.holds r.Sim.history r.Sim.log)
-    then incr of_bad;
-    if
-      List.mem M.name [ "tl-lock"; "pram-local"; "candidate" ]
-      && not
-           (Strict_dap.holds
-              ~data_sets:(Static_txn.data_sets specs)
-              r.Sim.log)
-    then incr dap_bad;
-    match target_checker.Spec.check ~budget:400_000 r.Sim.history with
-    | Spec.Unsat -> incr cons_bad
-    | Spec.Sat | Spec.Out_of_budget -> ()
-  done;
+    | Error msg ->
+        incr wf_bad;
+        add
+          {
+            Flight.source = "well-formed";
+            verdict = "violated";
+            axiom = msg;
+            witness_txns = [];
+            witness_steps = [];
+          });
+    if M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
+    then begin
+      match Obstruction_freedom.violations r.Sim.history r.Sim.log with
+      | [] -> ()
+      | vs ->
+          incr of_bad;
+          List.iter
+            (fun (v : Obstruction_freedom.violation) ->
+              add
+                {
+                  Flight.source = "obstruction-freedom";
+                  verdict = "violated";
+                  axiom =
+                    "a transaction aborted although no other process took \
+                     a step inside its execution interval";
+                  witness_txns = [ v.Obstruction_freedom.tid ];
+                  witness_steps =
+                    [
+                      fst v.Obstruction_freedom.interval;
+                      snd v.Obstruction_freedom.interval;
+                    ];
+                })
+            vs
+    end;
+    if List.mem M.name [ "tl-lock"; "pram-local"; "candidate" ] then begin
+      match
+        Strict_dap.violations
+          ~data_sets:(Static_txn.data_sets specs)
+          r.Sim.log
+      with
+      | [] -> ()
+      | vs ->
+          incr dap_bad;
+          List.iter
+            (fun (v : Strict_dap.violation) ->
+              let tids = [ v.Strict_dap.t1; v.Strict_dap.t2 ] in
+              add
+                {
+                  Flight.source = "strict-dap";
+                  verdict = "violated";
+                  axiom =
+                    "transactions with disjoint data sets contended on a \
+                     common base object";
+                  witness_txns = tids;
+                  witness_steps =
+                    List.filter_map
+                      (fun (e : Access_log.entry) ->
+                        match e.Access_log.tid with
+                        | Some t
+                          when List.exists (Tid.equal t) tids
+                               && List.exists
+                                    (Oid.equal e.Access_log.oid)
+                                    v.Strict_dap.objects ->
+                            Some e.Access_log.index
+                        | _ -> None)
+                      r.Sim.log;
+                })
+            vs
+    end;
+    (match target_checker.Spec.check ~budget:400_000 r.Sim.history with
+    | Spec.Unsat -> (
+        incr cons_bad;
+        match
+          Provenance.of_unsat ~budget:400_000 ~log:r.Sim.log target_checker
+            r.Sim.history
+        with
+        | Some p -> add (Provenance.to_flight p)
+        | None -> ())
+    | Spec.Sat | Spec.Out_of_budget -> ());
+    match (dump_dir, Flight.default (), List.rev !verdicts) with
+    | Some dir, Some fl, (_ :: _ as vs) ->
+        List.iter (Flight.add_verdict fl) vs;
+        Flight.set_meta fl "tm" M.name;
+        Flight.set_meta fl "workload" "fuzz";
+        Flight.set_meta fl "seed" (string_of_int seed);
+        Flight.set_meta fl "iteration" (string_of_int i);
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "fuzz-%s-seed%d-iter%d.trace.jsonl" M.name seed
+               i)
+        in
+        Flight.write_jsonl fl path;
+        dumped := path :: !dumped
+    | _ -> ()
+  in
+  let loop () =
+    for i = 1 to iters do
+      iteration i
+    done
+  in
+  (match dump_dir with
+  | Some dir ->
+      ensure_dir dir;
+      Flight.with_recorder (Flight.create ()) loop
+  | None -> loop ());
   {
     wf_bad = !wf_bad;
     of_bad = !of_bad;
     dap_bad = !dap_bad;
     cons_bad = !cons_bad;
     stalled = !stalled;
+    dumped = List.rev !dumped;
   }
 
 let fuzz_cmd =
@@ -413,16 +595,29 @@ let fuzz_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run tm iters seed =
+  let run tm iters seed record dump_dir =
+    let violations = ref 0 in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
-        let t = run_fuzz impl ~iters ~seed in
+        let t =
+          run_fuzz
+            ?dump_dir:(if record then Some dump_dir else None)
+            impl ~iters ~seed
+        in
+        violations := !violations + fuzz_violations t;
         Format.printf
           "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
            violations %d, consistency-target violations %d, stalled %d@."
-          M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad t.stalled)
-      (impls_of tm)
+          M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad t.stalled;
+        List.iter
+          (fun path -> Format.printf "  violating trace dumped to %s@." path)
+          t.dumped)
+      (impls_of tm);
+    if !violations > 0 then begin
+      Format.printf "%d contract violation(s) found@." !violations;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -430,8 +625,108 @@ let fuzz_cmd =
          "Fuzz a TM with random transactions and schedules, using the \
           detectors and checkers as oracles; every TM must uphold its own \
           advertised contract (the candidate's is weak-adaptive, which it \
-          may violate — that is the theorem).")
-    Term.(const run $ tm_arg $ iters $ seed)
+          may violate — that is the theorem).  Exits non-zero when a \
+          violation is found; with $(b,--record) each violating execution \
+          is dumped as a replayable trace for `pcl_tm explain'.")
+    Term.(const run $ tm_arg $ iters $ seed $ record_arg $ dump_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain: replay a dumped trace artifact — render its timeline with the
+   witness steps highlighted and print the verdict provenance. *)
+
+let pp_flight_verdict ppf (v : Flight.verdict) =
+  Format.fprintf ppf "%s: %s@\n  witness: {%s}%s@\n  axiom: %s"
+    v.Flight.source v.Flight.verdict
+    (String.concat ", " (List.map Tid.name v.Flight.witness_txns))
+    (match v.Flight.witness_steps with
+    | [] -> ""
+    | steps ->
+        Printf.sprintf " at steps %s"
+          (String.concat "," (List.map string_of_int steps)))
+    v.Flight.axiom
+
+let explain_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Flight-recorder artifact (.trace.jsonl) dumped by `pcl_tm \
+             fuzz --record' / `pcl_tm explore --record'.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also export the trace as Chrome trace-event JSON \
+             (Perfetto-loadable) to $(docv).")
+  in
+  let run file checker width chrome =
+    match Flight.load file with
+    | Error msg -> Fmt.failwith "cannot load %s: %s" file msg
+    | Ok fl ->
+        Format.printf "trace: %s@." file;
+        List.iter
+          (fun (k, v) -> Format.printf "  %-10s %s@." k v)
+          (Flight.meta fl);
+        Format.printf "  %-10s %d recorded, %d retained, %d dropped@.@."
+          "ring" (Flight.recorded fl)
+          (List.length (Flight.steps fl))
+          (Flight.dropped fl);
+        let history = Flight.history fl in
+        let log = Flight.steps fl in
+        (* stored verdicts are the trace's own provenance; -c recomputes
+           against a chosen checker; with neither, fall back to the first
+           checker (strongest to weakest) that rejects the history *)
+        let recomputed =
+          match checker with
+          | Some name -> (
+              let c = Checkers.find_exn name in
+              match Provenance.of_unsat ~log c history with
+              | Some p -> [ Provenance.to_flight p ]
+              | None ->
+                  Format.printf "%s does not reject this history@.@." name;
+                  [])
+          | None ->
+              if Flight.verdicts fl <> [] then []
+              else
+                List.find_map
+                  (fun c -> Provenance.of_unsat ~log c history)
+                  Checkers.all
+                |> Option.map Provenance.to_flight
+                |> Option.to_list
+        in
+        let verdicts = Flight.verdicts fl @ recomputed in
+        let highlight =
+          List.concat_map (fun v -> v.Flight.witness_steps) verdicts
+          |> List.sort_uniq compare
+        in
+        print_string
+          (Timeline.render ~width ~highlight
+             ~names:(Flight.name_of fl)
+             history log);
+        List.iter
+          (fun v -> Format.printf "@.%a@." pp_flight_verdict v)
+          verdicts;
+        if verdicts = [] then
+          Format.printf "@.no verdicts: the recorded history is consistent@.";
+        (match chrome with
+        | Some out ->
+            Flight.write_chrome fl out;
+            Format.printf "@.chrome trace written to %s@." out
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay a recorded trace artifact: render its step-level timeline \
+          with the witness steps highlighted, and print the verdict \
+          provenance (which axiom failed, which transactions and steps \
+          witness it).")
+    Term.(const run $ file $ checker_arg $ width_arg $ chrome)
 
 (* ------------------------------------------------------------------ *)
 (* report: run a workload silently, then dump the telemetry sink. *)
@@ -539,4 +834,4 @@ let () =
        (Cmd.group info
           [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
             check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
-            report_cmd ]))
+            explain_cmd; report_cmd ]))

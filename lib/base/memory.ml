@@ -17,6 +17,10 @@ type t = {
   mutable hook : (Access_log.entry -> unit) option;
       (** called after every logged step — the shared instrumentation
           point TM layers use to attribute base-object traffic *)
+  mutable flight : (Access_log.entry -> unit) option;
+      (** second, independent per-step hook reserved for the flight
+          recorder, so step recording composes with the TM telemetry
+          hook above instead of replacing it *)
   steps_c : Tm_obs.Metrics.counter;
   prim_c : Tm_obs.Metrics.counter array;  (** indexed by primitive kind *)
 }
@@ -30,6 +34,7 @@ let create () =
     by_name = Hashtbl.create 64;
     log = Access_log.create ();
     hook = None;
+    flight = None;
     steps_c = Tm_obs.Metrics.counter m "mem_steps_total";
     prim_c =
       Array.init Primitive.n_kinds (fun i ->
@@ -88,6 +93,7 @@ let apply t ~pid ?tid (oid : Oid.t) (prim : Primitive.t) : Value.t =
   Tm_obs.Metrics.inc t.steps_c;
   Tm_obs.Metrics.inc t.prim_c.(Primitive.kind_index prim);
   (match t.hook with Some f -> f entry | None -> ());
+  (match t.flight with Some f -> f entry | None -> ());
   response
 
 (** Debugging read that is not a step and is not logged. *)
@@ -104,6 +110,13 @@ let step_count t = Access_log.length t.log
 let set_hook t f = t.hook <- Some f
 
 let clear_hook t = t.hook <- None
+
+(** Install the flight-recorder step hook.  Separate from {!set_hook} so
+    step recording composes with (rather than replaces) the TM telemetry
+    hook; costs one [None] match per step when disabled. *)
+let set_flight_hook t f = t.flight <- Some f
+
+let clear_flight_hook t = t.flight <- None
 
 let pp_log ppf t =
   let name_of oid = name_of t oid in

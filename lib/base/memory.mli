@@ -43,4 +43,12 @@ val set_hook : t -> (Access_log.entry -> unit) -> unit
 
 val clear_hook : t -> unit
 
+val set_flight_hook : t -> (Access_log.entry -> unit) -> unit
+(** Install the flight-recorder step hook (replacing any previous one).
+    A second, independent slot so step recording composes with the TM
+    telemetry hook instead of replacing it; when unset the cost is one
+    [None] match per step. *)
+
+val clear_flight_hook : t -> unit
+
 val pp_log : Format.formatter -> t -> unit

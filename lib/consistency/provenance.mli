@@ -1,0 +1,42 @@
+(** Verdict provenance: minimal witnesses for negative checker verdicts.
+
+    An [Unsat] alone says a history is inconsistent; provenance says
+    {e why}: a locally-minimal core of transactions the checker still
+    rejects, the violated axiom in words, and the core's step indices —
+    what `pcl_tm explain` highlights on the rendered timeline. *)
+
+open Tm_base
+open Tm_trace
+
+type t = {
+  source : string;  (** checker name *)
+  verdict : string;  (** always ["unsat"] here *)
+  axiom : string;  (** the violated condition, in words *)
+  txns : Tid.t list;  (** locally-minimal unsat core *)
+  steps : int list;  (** global indices of the core's steps *)
+}
+
+val axiom_of : string -> string
+(** The condition a checker of that name decides, phrased as the violated
+    axiom; a generic phrase for unknown names. *)
+
+val unsat_core : ?budget:int -> Spec.checker -> History.t -> Tid.t list option
+(** [Some core] iff the checker rejects the history; [core] is then a
+    locally-minimal subset of its transactions that it still rejects
+    (greedy element-wise minimization — removing any one remaining
+    transaction makes the rest satisfiable). *)
+
+val of_unsat :
+  ?budget:int ->
+  ?log:Access_log.entry list ->
+  Spec.checker ->
+  History.t ->
+  t option
+(** Full provenance for a rejected history.  When the execution's access
+    log is given, [steps] lists the global indices of the core
+    transactions' steps. *)
+
+val to_flight : t -> Flight.verdict
+(** As a flight-recorder verdict line, ready to attach to a trace. *)
+
+val pp : Format.formatter -> t -> unit

@@ -35,6 +35,8 @@ module Recorder = Tm_trace.Recorder
 module Legality = Tm_trace.Legality
 module Build = Tm_trace.Build
 module Wire = Tm_trace.Wire
+module Flight = Tm_trace.Flight
+module Timeline = Tm_trace.Timeline
 
 (* runtime *)
 module Proc = Tm_runtime.Proc
@@ -61,6 +63,7 @@ module Weak_adaptive = Tm_consistency.Weak_adaptive
 module Opacity = Tm_consistency.Opacity
 module Checkers = Tm_consistency.Checkers
 module Witness = Tm_consistency.Witness
+module Provenance = Tm_consistency.Provenance
 module Anomalies = Tm_consistency.Anomalies
 module Hierarchy = Tm_consistency.Hierarchy
 

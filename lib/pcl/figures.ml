@@ -149,3 +149,62 @@ let pp_report ppf (r : Claims.report) =
       | Error why -> Fmt.pf ppf "p7 distinguishes the executions: %s@\n" why);
       Fmt.pf ppf "contradiction reached: %b@\n" d.Claims.contradiction
 
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder timeline rendering (`pcl_tm figures --render`):
+   re-execute each figure's schedule with a recorder installed and draw
+   per-process step lanes with the critical steps s1/s2 highlighted. *)
+
+let record_run ?budget (impl : Tm_intf.impl)
+    (atoms : Tm_runtime.Schedule.atom list) : Harness.run * Tm_trace.Flight.t
+    =
+  let fl = Tm_trace.Flight.create () in
+  let run =
+    Tm_trace.Flight.with_recorder fl (fun () -> Harness.run ?budget impl atoms)
+  in
+  Tm_trace.Flight.set_meta fl "tm" (Registry.name impl);
+  (run, fl)
+
+(** Replay a schedule under a fresh recorder and render its timeline;
+    [highlight_steps] picks the steps to mark, given the finished run. *)
+let render_timeline ?width ?budget (impl : Tm_intf.impl)
+    (atoms : Tm_runtime.Schedule.atom list)
+    ~(highlight_steps : Harness.run -> int list) : string =
+  let run, fl = record_run ?budget impl atoms in
+  Tm_trace.Timeline.render_flight ?width ~highlight:(highlight_steps run) fl
+
+(** Figures 1-6 as per-process timeline art.  The critical steps are
+    located by ordinal — s1 is the k1-th step of p1, s2 the k2-th step of
+    p2 — which is stable across the different schedules they appear in. *)
+let render_constructions ?width (c : Constructions.t) : string =
+  let impl = c.Constructions.impl in
+  let s_of run pid k =
+    match Harness.nth_step_of_pid run pid k with
+    | Some (e : Access_log.entry) -> [ e.Access_log.index ]
+    | None -> []
+  in
+  let s1 run = s_of run 1 c.Constructions.k1 in
+  let s2 run = s_of run 2 c.Constructions.k2 in
+  let fig title atoms highlight_steps =
+    Printf.sprintf "-- %s --\n%s" title
+      (render_timeline ?width impl atoms ~highlight_steps)
+  in
+  String.concat "\n"
+    [
+      fig "Figure 1 (top): alpha1 . s1 . alpha3, s1 highlighted"
+        (Constructions.alpha1_s1_alpha3 c)
+        s1;
+      fig "Figure 1 (bottom): alpha1 . alpha3', s1 not taken"
+        (Constructions.alpha1_alpha3' c)
+        (fun _ -> []);
+      fig "Figure 2: alpha1 . alpha2 . s2 . alpha5, s2 highlighted"
+        (Constructions.alpha1 c @ Constructions.alpha2 c
+        @ [ Constructions.s2_atom; Tm_runtime.Schedule.Until_done 5 ])
+        s2;
+      fig "Figure 3/5: beta, s1 and s2 highlighted"
+        (Constructions.beta c)
+        (fun run -> s1 run @ s2 run);
+      fig "Figure 4/6: beta', s2 and s1 highlighted"
+        (Constructions.beta' c)
+        (fun run -> s1 run @ s2 run);
+    ]
+

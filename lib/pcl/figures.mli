@@ -22,3 +22,27 @@ val pp_lanes :
   Format.formatter -> Claims.side * Tm_runtime.Schedule.atom list -> unit
 (** Per-process lane rendering of a side's schedule — the visual layout of
     the paper's Figures 5-6, with the adversarial steps s1/s2 marked. *)
+
+(** {1 Flight-recorder timelines} *)
+
+val record_run :
+  ?budget:int ->
+  Tm_intf.impl ->
+  Tm_runtime.Schedule.atom list ->
+  Harness.run * Tm_trace.Flight.t
+(** Replay a schedule with a fresh flight recorder installed; the returned
+    recorder holds the execution's steps, history and names. *)
+
+val render_timeline :
+  ?width:int ->
+  ?budget:int ->
+  Tm_intf.impl ->
+  Tm_runtime.Schedule.atom list ->
+  highlight_steps:(Harness.run -> int list) ->
+  string
+(** Replay and render one schedule as timeline art; [highlight_steps]
+    picks the witness steps from the finished run. *)
+
+val render_constructions : ?width:int -> Constructions.t -> string
+(** The paper's Figures 1-6 as per-process timeline art, the critical
+    steps s1/s2 highlighted (`pcl_tm figures --render`). *)

@@ -100,6 +100,11 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
   let tm_l = [ ("tm", M.name) ] in
   Tm_obs.Sink.span ~labels:tm_l "workload.run" (fun () ->
   let mem = Memory.create () in
+  (match Flight.default () with
+  | Some fl ->
+      Flight.reset fl;
+      Memory.set_flight_hook mem (Flight.record fl)
+  | None -> ());
   let recorder = Recorder.create () in
   let handle = Txn_api.instantiate impl mem recorder ~items:(items_for cfg) in
   let sched = Scheduler.create mem in

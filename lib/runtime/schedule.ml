@@ -19,6 +19,41 @@ let pp_atom ppf = function
 
 let pp ppf atoms = Fmt.(list ~sep:(any " . ") pp_atom) ppf atoms
 
+(* The compact one-token-per-atom format used by `pcl_tm trace` and by
+   flight-recorder artifacts: "p1:7,p2:*" means 7 steps of p1 then p2
+   until done.  [of_string] inverts [to_string] exactly, so a dumped
+   schedule replays bit-identically. *)
+
+let atom_to_string = function
+  | Steps (pid, n) -> Printf.sprintf "p%d:%d" pid n
+  | Until_done pid -> Printf.sprintf "p%d:*" pid
+
+let to_string atoms = String.concat "," (List.map atom_to_string atoms)
+
+let of_string s : (atom list, string) result =
+  let parse_atom tok =
+    match String.split_on_char ':' (String.trim tok) with
+    | [ p; spec ] when String.length p > 1 && p.[0] = 'p' -> (
+        match int_of_string_opt (String.sub p 1 (String.length p - 1)) with
+        | None -> Error (Printf.sprintf "bad process in %S" tok)
+        | Some pid -> (
+            match spec with
+            | "*" -> Ok (Until_done pid)
+            | n -> (
+                match int_of_string_opt n with
+                | Some n -> Ok (Steps (pid, n))
+                | None -> Error (Printf.sprintf "bad step count in %S" tok))))
+    | _ -> Error (Printf.sprintf "bad schedule token %S (want pN:K or pN:*)" tok)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match parse_atom tok with
+        | Ok a -> go (a :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] (String.split_on_char ',' s)
+
 (** Execute a schedule on a scheduler.  [budget] bounds each [Until_done]
     segment (a segment that exhausts it reports [Budget_exhausted pid] and
     stops the schedule — the liveness-failure signal). *)

@@ -21,6 +21,14 @@ type report = {
 val pp_atom : Format.formatter -> atom -> unit
 val pp : Format.formatter -> atom list -> unit
 
+val to_string : atom list -> string
+(** The compact "p1:7,p2:*" format used by [pcl_tm trace] and by
+    flight-recorder artifacts. *)
+
+val of_string : string -> (atom list, string) result
+(** Inverse of {!to_string} (also accepts surrounding whitespace per
+    token), so a dumped schedule replays bit-identically. *)
+
 val run : Scheduler.t -> ?budget:int -> atom list -> report
 (** Execute a schedule.  [budget] (default 100_000) bounds each
     [Until_done] segment. *)

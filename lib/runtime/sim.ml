@@ -32,6 +32,15 @@ let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list) :
     (fun () ->
       Tm_obs.Sink.span "sim.replay" (fun () ->
           let recorder = Recorder.create () in
+          (* one flight trace = one execution: reset the installed recorder
+             so an explorer/fuzzer callback always sees exactly the steps
+             of the execution that just ran *)
+          let flight = Flight.default () in
+          (match flight with
+          | Some fl ->
+              Flight.reset fl;
+              Memory.set_flight_hook mem (Flight.record fl)
+          | None -> ());
           let programs = setup mem recorder in
           let sched = Scheduler.create mem in
           List.iter (fun (pid, f) -> Scheduler.spawn sched ~pid f) programs;
@@ -56,6 +65,21 @@ let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list) :
           let steps_of pid =
             Option.value ~default:0 (Hashtbl.find_opt per_pid pid)
           in
+          (match flight with
+          | Some fl ->
+              Flight.set_names fl
+                (Array.init (Memory.n_objects mem) (Memory.name_of mem));
+              Flight.set_history fl (Recorder.history recorder);
+              Flight.set_meta fl "schedule" (Schedule.to_string atoms);
+              Flight.set_meta fl "budget" (string_of_int budget);
+              Flight.set_meta fl "stop"
+                (match report.Schedule.stop with
+                | Schedule.Completed -> "completed"
+                | Schedule.Budget_exhausted pid ->
+                    Printf.sprintf "budget-exhausted:p%d" pid
+                | Schedule.Crashed (pid, _) -> Printf.sprintf "crashed:p%d" pid);
+              Flight.set_meta fl "steps" (string_of_int (List.length log))
+          | None -> ());
           {
             mem;
             history = Recorder.history recorder;

@@ -19,19 +19,33 @@ let describe (module M : Tm_intf.S) = M.describe
 let is_prefix p s =
   String.length p <= String.length s && String.sub s 0 (String.length p) = p
 
+type lookup =
+  | Found of Tm_intf.impl
+  | Ambiguous of string list  (** candidate names the prefix matches *)
+  | Unknown
+
 (** Exact name match first; otherwise a unique prefix resolves too, so
-    [tl2] finds [tl2-clock] (while [tl] stays ambiguous). *)
-let find n : Tm_intf.impl option =
+    [tl2] finds [tl2-clock] (while [tl] is [Ambiguous] between [tl-lock]
+    and [tl2-clock]). *)
+let lookup n : lookup =
   match List.find_opt (fun (module M : Tm_intf.S) -> M.name = n) all with
-  | Some _ as hit -> hit
+  | Some impl -> Found impl
   | None -> (
       match
         List.filter (fun (module M : Tm_intf.S) -> is_prefix n M.name) all
       with
-      | [ impl ] -> Some impl
-      | _ -> None)
+      | [ impl ] -> Found impl
+      | [] -> Unknown
+      | several -> Ambiguous (List.map name several))
+
+let find n = match lookup n with Found impl -> Some impl | _ -> None
 
 let find_exn n =
-  match find n with
-  | Some m -> m
-  | None -> invalid_arg (Printf.sprintf "Registry.find_exn: %s" n)
+  match lookup n with
+  | Found impl -> impl
+  | Ambiguous candidates ->
+      invalid_arg
+        (Printf.sprintf "Registry.find_exn: %S is ambiguous (matches %s)" n
+           (String.concat ", " candidates))
+  | Unknown ->
+      invalid_arg (Printf.sprintf "Registry.find_exn: no TM named %S" n)

@@ -1,0 +1,102 @@
+(** The flight recorder: a bounded ring buffer of atomic steps (filled from
+    {!Tm_base.Memory}'s flight hook), the run's history and metadata, and
+    verdict-provenance lines — everything needed to re-render, replay and
+    explain an execution after the fact.
+
+    One recorder holds one execution: [Sim.replay] resets the installed
+    recorder before running, so after a replay (or inside an explorer
+    callback) the buffer is exactly that execution's step sequence.
+
+    Export formats: JSONL ({!to_jsonl}; re-imported losslessly by {!parse})
+    and Chrome trace-event JSON ({!to_chrome}, loadable in Perfetto). *)
+
+open Tm_base
+
+type verdict = {
+  source : string;  (** checker or detector name *)
+  verdict : string;  (** e.g. ["unsat"], ["violated"] *)
+  axiom : string;  (** the violated condition, in words *)
+  witness_txns : Tid.t list;  (** offending transactions *)
+  witness_steps : int list;  (** offending global step indices *)
+}
+(** Minimal provenance for a negative verdict — who rejected the run, which
+    axiom failed, and the witness to highlight on the timeline. *)
+
+type t
+
+val default_cap : int
+(** 65536 steps. *)
+
+val create : ?cap:int -> unit -> t
+(** @raise Invalid_argument if [cap <= 0]. *)
+
+val reset : t -> unit
+(** Empty the buffer and drop names, history, meta and verdicts. *)
+
+val record : t -> Access_log.entry -> unit
+(** O(1); overwrites the oldest retained step once [cap] is exceeded. *)
+
+val recorded : t -> int
+(** Steps ever recorded (retained or not). *)
+
+val dropped : t -> int
+(** Steps lost to wraparound. *)
+
+val steps : t -> Access_log.entry list
+(** Retained steps, oldest first. *)
+
+(** {1 Run context} *)
+
+val set_names : t -> string array -> unit
+(** Object-name table, indexed by oid. *)
+
+val name_of : t -> Oid.t -> string
+(** Falls back to ["oid7"]-style names beyond the table. *)
+
+val set_history : t -> History.t -> unit
+val history : t -> History.t
+
+val set_meta : t -> string -> string -> unit
+(** Append a key/value (e.g. ["tm"], ["schedule"], ["seed"], ["stop"]). *)
+
+val meta : t -> (string * string) list
+val meta_value : t -> string -> string option
+
+val add_verdict : t -> verdict -> unit
+val verdicts : t -> verdict list
+
+(** {1 The process-wide recorder}
+
+    Mirrors [Sink.default]: installing a recorder makes [Sim.replay] record
+    every execution into it without threading it through signatures. *)
+
+val install : t option -> unit
+val default : unit -> t option
+
+val with_recorder : t -> (unit -> 'a) -> 'a
+(** Install the recorder, run the thunk, restore the previous one. *)
+
+(** {1 Export / import} *)
+
+val to_jsonl : t -> string
+(** The artifact format (one JSON object per line; schema in
+    docs/OBSERVABILITY.md).  [parse (to_jsonl t)] reconstructs [t] up to
+    ring capacity, and re-exporting the parse yields the same string. *)
+
+val write_jsonl : t -> string -> unit
+
+val parse : string -> (t, string) result
+val load : string -> (t, string) result
+(** [load path] reads and parses a dumped artifact. *)
+
+val to_chrome : t -> Tm_obs.Obs_json.t
+(** Chrome trace-event JSON: transactions as complete events, steps as
+    instants, logical step indices as timestamps. *)
+
+val write_chrome : t -> string -> unit
+
+(** {1 Codec internals shared with other exporters} *)
+
+val value_json : Value.t -> Tm_obs.Obs_json.t
+val prim_json : Primitive.t -> Tm_obs.Obs_json.t
+val event_json : Event.t -> Tm_obs.Obs_json.t

@@ -1,0 +1,239 @@
+(* The flight recorder: ring-buffer wraparound, the JSONL artifact
+   round-trip, deterministic replay of a dumped schedule, the golden
+   Figure-1 timeline, registry prefix lookup, and unsat-core provenance. *)
+
+open Core
+
+let j = Obs_json.to_string
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Access_log.entry equality via the artifact codecs *)
+let entry_eq (a : Access_log.entry) (b : Access_log.entry) =
+  a.Access_log.index = b.Access_log.index
+  && a.Access_log.pid = b.Access_log.pid
+  && a.Access_log.tid = b.Access_log.tid
+  && Oid.equal a.Access_log.oid b.Access_log.oid
+  && a.Access_log.changed = b.Access_log.changed
+  && j (Flight.prim_json a.Access_log.prim)
+     = j (Flight.prim_json b.Access_log.prim)
+  && j (Flight.value_json a.Access_log.response)
+     = j (Flight.value_json b.Access_log.response)
+
+let entry i pid =
+  {
+    Access_log.index = i;
+    pid;
+    tid = Some (Tid.v pid);
+    oid = Oid.of_int (i mod 3);
+    prim = Primitive.Write (Value.int i);
+    response = Value.unit;
+    changed = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* ring buffer *)
+
+let test_wraparound () =
+  let fl = Flight.create ~cap:4 () in
+  for i = 0 to 9 do
+    Flight.record fl (entry i 1)
+  done;
+  Alcotest.(check int) "recorded" 10 (Flight.recorded fl);
+  Alcotest.(check int) "dropped" 6 (Flight.dropped fl);
+  Alcotest.(check (list int))
+    "last cap steps retained, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Access_log.entry) -> e.Access_log.index)
+       (Flight.steps fl));
+  Flight.reset fl;
+  Alcotest.(check int) "reset empties" 0 (Flight.recorded fl);
+  Alcotest.(check int) "reset clears drops" 0 (Flight.dropped fl)
+
+let test_wraparound_export () =
+  let fl = Flight.create ~cap:3 () in
+  for i = 0 to 4 do
+    Flight.record fl (entry i (1 + (i mod 2)))
+  done;
+  let text = Flight.to_jsonl fl in
+  match Flight.parse text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok fl' ->
+      Alcotest.(check int) "dropped survives import" 2 (Flight.dropped fl');
+      Alcotest.(check int) "recorded survives import" 5 (Flight.recorded fl');
+      Alcotest.(check string) "re-export is identical" text
+        (Flight.to_jsonl fl')
+
+(* ------------------------------------------------------------------ *)
+(* record -> export -> import round-trip on a real execution *)
+
+let record_delta1 () =
+  let impl = Registry.find_exn "candidate" in
+  let fl = Flight.create () in
+  let (_ : Pcl_harness.run) =
+    Flight.with_recorder fl (fun () ->
+        Pcl_harness.run impl Pcl_constructions.delta1)
+  in
+  Flight.set_meta fl "tm" "candidate";
+  fl
+
+let test_roundtrip () =
+  let fl = record_delta1 () in
+  Flight.add_verdict fl
+    {
+      Flight.source = "demo";
+      verdict = "unsat";
+      axiom = "demo axiom";
+      witness_txns = [ Tid.v 1 ];
+      witness_steps = [ 3; 4 ];
+    };
+  Alcotest.(check bool) "recorded something" true (Flight.recorded fl > 0);
+  let text = Flight.to_jsonl fl in
+  match Flight.parse text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok fl' ->
+      Alcotest.(check string) "re-export is identical" text
+        (Flight.to_jsonl fl');
+      Alcotest.(check bool) "steps round-trip" true
+        (List.for_all2 entry_eq (Flight.steps fl) (Flight.steps fl'));
+      Alcotest.(check bool) "history rounds-trips" true
+        (List.for_all2 Event.equal
+           (History.to_list (Flight.history fl))
+           (History.to_list (Flight.history fl')));
+      Alcotest.(check (list (pair string string)))
+        "meta round-trips" (Flight.meta fl) (Flight.meta fl');
+      Alcotest.(check int) "verdicts round-trip" 1
+        (List.length (Flight.verdicts fl'))
+
+(* ------------------------------------------------------------------ *)
+(* deterministic replay: the schedule stored in a dumped artifact
+   reproduces the recorded step stream bit-for-bit *)
+
+let test_replay_from_artifact () =
+  let fl = record_delta1 () in
+  let text = Flight.to_jsonl fl in
+  let fl' = Result.get_ok (Flight.parse text) in
+  let schedule_str =
+    Option.get (Flight.meta_value fl' "schedule")
+  in
+  let atoms = Result.get_ok (Schedule.of_string schedule_str) in
+  let impl = Registry.find_exn "candidate" in
+  let fl2 = Flight.create () in
+  let (_ : Pcl_harness.run) =
+    Flight.with_recorder fl2 (fun () -> Pcl_harness.run impl atoms)
+  in
+  Alcotest.(check int)
+    "same number of steps"
+    (List.length (Flight.steps fl'))
+    (List.length (Flight.steps fl2));
+  Alcotest.(check bool) "replayed steps are bit-identical" true
+    (List.for_all2 entry_eq (Flight.steps fl') (Flight.steps fl2))
+
+let test_schedule_string_roundtrip () =
+  let atoms =
+    [ Schedule.Steps (1, 7); Schedule.Until_done 3; Schedule.Steps (12, 1) ]
+  in
+  let s = Schedule.to_string atoms in
+  Alcotest.(check string) "compact form" "p1:7,p3:*,p12:1" s;
+  Alcotest.(check bool) "of_string inverts to_string" true
+    (Result.get_ok (Schedule.of_string s) = atoms);
+  Alcotest.(check bool) "bad token rejected" true
+    (Result.is_error (Schedule.of_string "p1:x"))
+
+(* ------------------------------------------------------------------ *)
+(* golden render: Figure 1 (top) for the candidate TM *)
+
+let test_golden_figure1 () =
+  let impl = Registry.find_exn "candidate" in
+  let c = Result.get_ok (Pcl_constructions.build impl) in
+  let rendered =
+    Pcl_figures.render_timeline impl
+      (Pcl_constructions.alpha1_s1_alpha3 c)
+      ~highlight_steps:(fun run ->
+        match Pcl_harness.nth_step_of_pid run 1 c.Pcl_constructions.k1 with
+        | Some e -> [ e.Access_log.index ]
+        | None -> [])
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "step        0          10         ";
+        "p1         (rrrrrcrc..............";
+        "p3         .........(rrrrrcrcrcrcC";
+        "witness            ^              ";
+        "x:cell:b1  .......-x.-..-.........";
+        "x:cell:b3  .-..-.........-x.......";
+        Timeline.legend;
+        "";
+      ]
+  in
+  Alcotest.(check string) "figure 1 golden render" expected rendered
+
+(* ------------------------------------------------------------------ *)
+(* registry prefix lookup *)
+
+let test_registry_lookup () =
+  (match Registry.lookup "tl" with
+  | Registry.Ambiguous candidates ->
+      Alcotest.(check (list string))
+        "ambiguous candidates listed" [ "tl-lock"; "tl2-clock" ] candidates
+  | _ -> Alcotest.fail "expected Ambiguous for \"tl\"");
+  (match Registry.lookup "tl2" with
+  | Registry.Found (module M : Tm_intf.S) ->
+      Alcotest.(check string) "unique prefix resolves" "tl2-clock" M.name
+  | _ -> Alcotest.fail "expected Found for \"tl2\"");
+  (match Registry.lookup "nope" with
+  | Registry.Unknown -> ()
+  | _ -> Alcotest.fail "expected Unknown for \"nope\"");
+  match Registry.find_exn "tl" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "error names the candidates" true
+        (contains ~sub:"tl-lock" msg && contains ~sub:"tl2-clock" msg)
+  | _ -> Alcotest.fail "expected Invalid_argument for ambiguous find_exn"
+
+(* ------------------------------------------------------------------ *)
+(* provenance: the unsat core of write-skew under serializability is the
+   skewing pair itself *)
+
+let test_provenance_write_skew () =
+  let a = Anomalies.find "write-skew" in
+  let checker = Checkers.find_exn "serializability" in
+  match Provenance.of_unsat checker a.Anomalies.history with
+  | None -> Alcotest.fail "serializability should reject write-skew"
+  | Some p ->
+      Alcotest.(check (list int))
+        "core is the skewing pair" [ 1; 2 ]
+        (List.sort compare (List.map Tid.to_int p.Provenance.txns));
+      Alcotest.(check string) "source" "serializability" p.Provenance.source;
+      Alcotest.(check bool) "axiom is worded" true
+        (String.length p.Provenance.axiom > 0)
+
+let () =
+  Alcotest.run "flight"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound" `Quick test_wraparound;
+          Alcotest.test_case "wraparound export" `Quick
+            test_wraparound_export;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "replay from artifact" `Quick
+            test_replay_from_artifact;
+          Alcotest.test_case "schedule strings" `Quick
+            test_schedule_string_roundtrip;
+        ] );
+      ( "timeline",
+        [ Alcotest.test_case "figure 1 golden" `Quick test_golden_figure1 ] );
+      ( "registry",
+        [ Alcotest.test_case "prefix lookup" `Quick test_registry_lookup ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "write-skew core" `Quick
+            test_provenance_write_skew;
+        ] );
+    ]
