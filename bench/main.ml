@@ -17,6 +17,7 @@
      scaling     disjoint vs conflicting throughput sweep (T-B)
      checkers    decision-procedure microbenchmarks, bechamel (T-C)
      flight      flight-recorder overhead on the mixed workload
+     lint        per-pass pclsan cost over the recorded workload
      hierarchy   the anomaly x checker separation matrix (T-D)
 *)
 
@@ -332,6 +333,73 @@ let flight_overhead ~iters ~seed () =
     [ Registry.find_exn "tl-lock"; Registry.find_exn "candidate" ]
 
 (* ------------------------------------------------------------------ *)
+(* pclsan overhead: record the mixed workload once per TM, then time each
+   lint pass alone over the same recorded input — the cost a CI lint run
+   adds per recorded step, pass by pass. *)
+
+let lint_overhead ~iters ~seed () =
+  let cfg =
+    { Workload.default with Workload.conflict_pct = 50;
+      txns_per_proc = iters; seed }
+  in
+  let time f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      ignore (f ());
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let tms = [ Registry.find_exn "tl-lock"; Registry.find_exn "candidate" ] in
+  Format.printf
+    "per-pass lint cost over the recorded mixed workload (conflict 50%%, \
+     %d txns/proc), best of 5 runs:@."
+    iters;
+  Format.printf "%-16s" "pass \\ TM";
+  List.iter
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      Format.printf "%16s" M.name)
+    tms;
+  Format.printf "%16s@." "unit";
+  let inputs =
+    List.map
+      (fun impl ->
+        let (module M : Tm_intf.S) = impl in
+        let fl = Flight.create () in
+        Flight.with_recorder fl (fun () -> ignore (Workload.run impl cfg));
+        let input =
+          { (Lint.input_of_flight fl) with Lint.tm = Some M.name }
+        in
+        (List.length input.Lint.log, input))
+      tms
+  in
+  (* the happens-before analysis alone: every trace pass pays it *)
+  Format.printf "%-16s" "hb-engine";
+  List.iter
+    (fun (steps, (input : Lint.input)) ->
+      let dt =
+        time (fun () -> Hb.analyse ~history:input.Lint.history input.Lint.log)
+      in
+      Format.printf "%16.1f" (dt *. 1e9 /. float_of_int (max 1 steps)))
+    inputs;
+  Format.printf "%16s@." "ns/step";
+  List.iter
+    (fun (pass : Lint.pass) ->
+      Format.printf "%-16s" pass.Lint.name;
+      List.iter
+        (fun (steps, input) ->
+          let dt = time (fun () -> pass.Lint.run Lint.default input) in
+          Format.printf "%16.1f" (dt *. 1e9 /. float_of_int (max 1 steps)))
+        inputs;
+      Format.printf "%16s@." "ns/step")
+    Lint_passes.trace_passes
+
+(* ------------------------------------------------------------------ *)
 (* T-D: hierarchy matrix *)
 
 let hierarchy () =
@@ -428,6 +496,7 @@ let () =
           scaling_rows := scaling ~iters:cli.iters ~seed:cli.seed () );
       ("checkers", checkers);
       ("flight", fun () -> flight_overhead ~iters:cli.iters ~seed:cli.seed ());
+      ("lint", fun () -> lint_overhead ~iters:cli.iters ~seed:cli.seed ());
       ("hierarchy", hierarchy);
       ("progress", progress);
       ("liveness", liveness);

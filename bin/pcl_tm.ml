@@ -8,6 +8,9 @@
      pcl_tm explore -t TM                 exhaustive interleavings of a small
                                           conflicting workload, with the
                                           strongest condition each satisfies
+     pcl_tm lint [TRACE..] [-t TM]        pclsan: happens-before and lint
+                                          passes over dumped artifacts or
+                                          live recorded runs
 *)
 
 open Core
@@ -236,12 +239,23 @@ let dump_dir_arg =
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the pclsan trace passes (race, strict-dap, of-stall, \
+           anomalies) on every execution; findings outside the TM's \
+           expected set count as violations (see `pcl_tm lint').")
+
 (** Enumerate all interleavings of a writer/reader pair, classifying each
     execution by the strongest condition it satisfies.  Shared by
     [explore] and [report].  With [dump_dir], the first execution
-    satisfying nothing at all is dumped as a trace artifact. *)
-let run_explore ?dump_dir impl :
-    (string * int) list * Explorer.stats * string list =
+    satisfying nothing at all is dumped as a trace artifact; with [lint],
+    the pclsan trace passes run on every execution and the number of
+    executions with unexpected findings is returned. *)
+let run_explore ?dump_dir ?(lint = false) impl :
+    (string * int) list * Explorer.stats * string list * int =
   let x = Item.v "x" and y = Item.v "y" in
   let specs =
     [
@@ -284,6 +298,7 @@ let run_explore ?dump_dir impl :
         dumped := [ path ]
     | _ -> ()
   in
+  let lint_unexpected = ref 0 in
   let explore () =
     Explorer.explore ~max_nodes:300_000 ~max_steps:80 setup ~pids:[ 1; 2 ]
       ~on_execution:(fun r ->
@@ -293,6 +308,20 @@ let run_explore ?dump_dir impl :
           | [] -> "none"
         in
         if strongest = "none" then dump_violation r;
+        if lint then begin
+          let input =
+            {
+              Lint.log = r.Sim.log;
+              history = r.Sim.history;
+              name_of = Memory.name_of r.Sim.mem;
+              data_sets = Some (Static_txn.data_sets specs);
+              tm = Some (Registry.name impl);
+              meta = [];
+            }
+          in
+          let res = Lints.run_passes Lint_passes.trace_passes input in
+          if res.Lints.unexpected <> [] then incr lint_unexpected
+        end;
         Hashtbl.replace profiles strongest
           (1 + Option.value ~default:0 (Hashtbl.find_opt profiles strongest)))
   in
@@ -304,16 +333,18 @@ let run_explore ?dump_dir impl :
     | None -> explore ()
   in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) profiles [] in
-  (List.sort compare rows, stats, !dumped)
+  (List.sort compare rows, stats, !dumped, !lint_unexpected)
 
 let explore_cmd =
-  let run tm record dump_dir =
+  let run tm record dump_dir lint =
     let violations = ref 0 in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
-        let profiles, stats, dumped =
-          run_explore ?dump_dir:(if record then Some dump_dir else None) impl
+        let profiles, stats, dumped, lint_unexpected =
+          run_explore
+            ?dump_dir:(if record then Some dump_dir else None)
+            ~lint impl
         in
         Format.printf
           "%s: %d complete interleavings (%d nodes%s), strongest condition \
@@ -325,6 +356,11 @@ let explore_cmd =
             if name = "none" then violations := !violations + n;
             Format.printf "  %-26s %d executions@." name n)
           profiles;
+        if lint then begin
+          violations := !violations + lint_unexpected;
+          Format.printf "  %-26s %d executions@." "unexpected-lint"
+            lint_unexpected
+        end;
         List.iter
           (fun path -> Format.printf "  violating trace dumped to %s@." path)
           dumped)
@@ -342,8 +378,9 @@ let explore_cmd =
          "Enumerate all interleavings of a writer/reader pair and classify \
           each execution by the strongest condition it satisfies.  Exits \
           non-zero if some execution satisfies nothing; with $(b,--record) \
-          the first such execution is dumped as a replayable trace.")
-    Term.(const run $ tm_arg $ record_arg $ dump_dir_arg)
+          the first such execution is dumped as a replayable trace; with \
+          $(b,--lint) the pclsan trace passes run on every execution.")
+    Term.(const run $ tm_arg $ record_arg $ dump_dir_arg $ lint_flag)
 
 let trace_cmd =
   let schedule_arg =
@@ -397,17 +434,20 @@ type fuzz_totals = {
   of_bad : int;
   dap_bad : int;
   cons_bad : int;
+  lint_bad : int;  (** runs with unexpected pclsan findings *)
   stalled : int;
   dumped : string list;  (** trace artifacts written for violating runs *)
 }
 
-let fuzz_violations t = t.wf_bad + t.of_bad + t.dap_bad + t.cons_bad
+let fuzz_violations t = t.wf_bad + t.of_bad + t.dap_bad + t.cons_bad + t.lint_bad
 
 (** Fuzz one TM with random transactions and schedules, the detectors and
     checkers as oracles.  Shared by [fuzz] and [report].  With [dump_dir],
     every violating execution is dumped as a replayable trace artifact
-    with its verdict provenance attached. *)
-let run_fuzz ?dump_dir impl ~iters ~seed : fuzz_totals =
+    with its verdict provenance attached.  With [lint], the pclsan trace
+    passes additionally run on every execution; findings outside the TM's
+    expected set count as violations (and are dumped as verdicts too). *)
+let run_fuzz ?dump_dir ?(lint = false) impl ~iters ~seed : fuzz_totals =
   let (module M : Tm_intf.S) = impl in
   let st = Random.State.make [| seed |] in
   let items = [ Item.v "x"; Item.v "y"; Item.v "z" ] in
@@ -415,6 +455,7 @@ let run_fuzz ?dump_dir impl ~iters ~seed : fuzz_totals =
   and of_bad = ref 0
   and dap_bad = ref 0
   and cons_bad = ref 0
+  and lint_bad = ref 0
   and stalled = ref 0
   and dumped = ref [] in
   let target_checker =
@@ -551,6 +592,25 @@ let run_fuzz ?dump_dir impl ~iters ~seed : fuzz_totals =
         | Some p -> add (Provenance.to_flight p)
         | None -> ())
     | Spec.Sat | Spec.Out_of_budget -> ());
+    if lint then begin
+      let input =
+        {
+          Lint.log = r.Sim.log;
+          history = r.Sim.history;
+          name_of = Memory.name_of r.Sim.mem;
+          data_sets = Some (Static_txn.data_sets specs);
+          tm = Some M.name;
+          meta = [];
+        }
+      in
+      let res = Lints.run_passes Lint_passes.trace_passes input in
+      if res.Lints.unexpected <> [] then begin
+        incr lint_bad;
+        List.iter
+          (fun f -> add (Lint.to_flight_verdict f))
+          res.Lints.unexpected
+      end
+    end;
     match (dump_dir, Flight.default (), List.rev !verdicts) with
     | Some dir, Some fl, (_ :: _ as vs) ->
         List.iter (Flight.add_verdict fl) vs;
@@ -582,6 +642,7 @@ let run_fuzz ?dump_dir impl ~iters ~seed : fuzz_totals =
     of_bad = !of_bad;
     dap_bad = !dap_bad;
     cons_bad = !cons_bad;
+    lint_bad = !lint_bad;
     stalled = !stalled;
     dumped = List.rev !dumped;
   }
@@ -595,7 +656,7 @@ let fuzz_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run tm iters seed record dump_dir =
+  let run tm iters seed record dump_dir lint =
     let violations = ref 0 in
     List.iter
       (fun impl ->
@@ -603,13 +664,17 @@ let fuzz_cmd =
         let t =
           run_fuzz
             ?dump_dir:(if record then Some dump_dir else None)
-            impl ~iters ~seed
+            ~lint impl ~iters ~seed
         in
         violations := !violations + fuzz_violations t;
         Format.printf
           "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
-           violations %d, consistency-target violations %d, stalled %d@."
-          M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad t.stalled;
+           violations %d, consistency-target violations %d%s, stalled %d@."
+          M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad
+          (if lint then
+             Printf.sprintf ", unexpected lint findings %d" t.lint_bad
+           else "")
+          t.stalled;
         List.iter
           (fun path -> Format.printf "  violating trace dumped to %s@." path)
           t.dumped)
@@ -627,8 +692,11 @@ let fuzz_cmd =
           advertised contract (the candidate's is weak-adaptive, which it \
           may violate — that is the theorem).  Exits non-zero when a \
           violation is found; with $(b,--record) each violating execution \
-          is dumped as a replayable trace for `pcl_tm explain'.")
-    Term.(const run $ tm_arg $ iters $ seed $ record_arg $ dump_dir_arg)
+          is dumped as a replayable trace for `pcl_tm explain'; with \
+          $(b,--lint) the pclsan trace passes run on every execution and \
+          findings outside the TM's expected set count as violations.")
+    Term.(const run $ tm_arg $ iters $ seed $ record_arg $ dump_dir_arg
+          $ lint_flag)
 
 (* ------------------------------------------------------------------ *)
 (* explain: replay a dumped trace artifact — render its timeline with the
@@ -717,7 +785,10 @@ let explain_cmd =
         | Some out ->
             Flight.write_chrome fl out;
             Format.printf "@.chrome trace written to %s@." out
-        | None -> ())
+        | None -> ());
+        (* a trace judged a violation (stored or recomputed verdicts) makes
+           the replay fail, so CI can gate on `explain` directly *)
+        if verdicts <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "explain"
@@ -725,8 +796,203 @@ let explain_cmd =
          "Replay a recorded trace artifact: render its step-level timeline \
           with the witness steps highlighted, and print the verdict \
           provenance (which axiom failed, which transactions and steps \
-          witness it).")
+          witness it).  Exits non-zero when the replayed trace is judged a \
+          violation.")
     Term.(const run $ file $ checker_arg $ width_arg $ chrome)
+
+(* ------------------------------------------------------------------ *)
+(* lint: pclsan — the happens-before engine and lint passes, over dumped
+   artifacts and/or live recorded workload runs. *)
+
+let lint_cmd =
+  let traces =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Flight-recorder artifacts (.trace.jsonl) to lint; without \
+             any, live recorded workload runs are linted instead (every \
+             registered TM, or just $(b,-t) TM).")
+  in
+  let pass_filter =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "pass" ] ~docv:"PASS"
+          ~doc:
+            "Run only this pass (repeatable; unique prefixes resolve, \
+             e.g. $(b,-p tor) for torn-snapshot).  Default: all trace \
+             passes, plus figure-consistency when linting live TMs.")
+  in
+  let all_tms =
+    Arg.(
+      value & flag
+      & info [ "all-tms" ]
+          ~doc:
+            "Lint live runs of every TM in the registry (the default when \
+             no TRACE and no $(b,-t) is given).")
+  in
+  let horizon =
+    Arg.(
+      value & opt int Lint.default.Lint.horizon
+      & info [ "horizon" ] ~docv:"STEPS"
+          ~doc:
+            "of-stall: solo steps a transaction may run contention-free \
+             without completing before it is flagged.")
+  in
+  let connectivity =
+    Arg.(
+      value
+      & opt (enum [ ("direct", `Direct); ("path", `Path) ]) `Direct
+      & info [ "connectivity" ] ~docv:"KIND"
+          ~doc:
+            "strict-dap: flag contention between transactions with \
+             $(b,direct)ly disjoint data sets (the paper's strict DAP) or \
+             only between conflict-graph-disconnected ones ($(b,path)).")
+  in
+  let max_findings =
+    Arg.(
+      value & opt int Lint.default.Lint.max_findings
+      & info [ "max-findings" ] ~docv:"N" ~doc:"Findings reported per pass.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit findings as JSONL on stdout.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL export to $(docv).")
+  in
+  let run tm traces pass_filter all_tms horizon connectivity max_findings
+      json output =
+    let config =
+      { Lint.horizon; dap_connectivity = connectivity; max_findings }
+    in
+    let chosen ~default =
+      match pass_filter with
+      | [] -> default
+      | names -> List.map Lints.find_exn names
+    in
+    let json_lines = ref [] in
+    let findings_total = ref 0 and unexpected_total = ref 0 in
+    let lint_one ~target (input : Lint.input) passes =
+      let res = Lints.run_passes ~config passes input in
+      findings_total := !findings_total + List.length res.Lints.findings;
+      unexpected_total := !unexpected_total + List.length res.Lints.unexpected;
+      if not json then begin
+        Format.printf "== %s (tm: %s)@." target
+          (Option.value ~default:"unknown" res.Lints.tm);
+        if res.Lints.findings = [] then
+          Format.printf "  clean (%s)@."
+            (String.concat ", " res.Lints.passes_run)
+        else
+          List.iter
+            (fun f ->
+              let tag =
+                if Lints.is_expected ~tm:res.Lints.tm f then "expected"
+                else "UNEXPECTED"
+              in
+              Format.printf "  @[<v>(%s) %a@]@." tag
+                (Lint.pp_finding ~name_of:input.Lint.name_of)
+                f)
+            res.Lints.findings
+      end;
+      json_lines :=
+        Obs_json.Obj
+          [
+            ("type", Obs_json.String "lint-run");
+            ("target", Obs_json.String target);
+            ( "tm",
+              match res.Lints.tm with
+              | Some t -> Obs_json.String t
+              | None -> Obs_json.Null );
+            ( "passes",
+              Obs_json.List
+                (List.map (fun p -> Obs_json.String p) res.Lints.passes_run)
+            );
+            ("findings", Obs_json.Int (List.length res.Lints.findings));
+            ("unexpected", Obs_json.Int (List.length res.Lints.unexpected));
+          ]
+        :: List.map
+             (fun f ->
+               match Lint.finding_json f with
+               | Obs_json.Obj fields ->
+                   Obs_json.Obj
+                     (fields
+                     @ [
+                         ("target", Obs_json.String target);
+                         ( "expected",
+                           Obs_json.Bool
+                             (Lints.is_expected ~tm:res.Lints.tm f) );
+                       ])
+               | j -> j)
+             res.Lints.findings
+        |> List.append !json_lines
+    in
+    List.iter
+      (fun file ->
+        match Flight.load file with
+        | Error msg -> Fmt.failwith "cannot load %s: %s" file msg
+        | Ok fl ->
+            lint_one ~target:file
+              (Lint.input_of_flight fl)
+              (chosen ~default:Lint_passes.trace_passes))
+      traces;
+    let impls =
+      if all_tms then Registry.all
+      else
+        match tm with
+        | Some _ -> impls_of tm
+        | None -> if traces = [] then Registry.all else []
+    in
+    List.iter
+      (fun impl ->
+        let (module M : Tm_intf.S) = impl in
+        let fl = Flight.create () in
+        Flight.with_recorder fl (fun () ->
+            ignore
+              (Workload.run impl
+                 {
+                   Workload.default with
+                   Workload.conflict_pct = 50;
+                   txns_per_proc = 10;
+                 }));
+        lint_one
+          ~target:(Printf.sprintf "workload:%s" M.name)
+          { (Lint.input_of_flight fl) with Lint.tm = Some M.name }
+          (chosen ~default:(Lints.all ())))
+      impls;
+    let jsonl =
+      String.concat ""
+        (List.map (fun j -> Obs_json.to_string j ^ "\n") !json_lines)
+    in
+    (match output with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if json then print_string jsonl
+    else
+      Format.printf "@.%d finding(s), %d unexpected@." !findings_total
+        !unexpected_total;
+    if !unexpected_total > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "pclsan: run the happens-before engine and lint passes (race, \
+          strict-dap, of-stall, lost-update, write-skew, torn-snapshot, \
+          figure-consistency) over dumped trace artifacts or live \
+          recorded workload runs.  Findings are classified against each \
+          TM's expected set (the lint confirming what the theorem says \
+          about it); exits non-zero on any unexpected finding.")
+    Term.(
+      const run $ tm_arg $ traces $ pass_filter $ all_tms $ horizon
+      $ connectivity $ max_findings $ json $ output)
 
 (* ------------------------------------------------------------------ *)
 (* report: run a workload silently, then dump the telemetry sink. *)
@@ -834,4 +1100,4 @@ let () =
        (Cmd.group info
           [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
             check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
-            explain_cmd; report_cmd ]))
+            explain_cmd; lint_cmd; report_cmd ]))

@@ -1,0 +1,167 @@
+(* The happens-before engine: a single forward pass over the step trace
+   maintaining one vector clock per process and one release clock per base
+   object.
+
+   Ordering sources:
+   - program order: each step ticks its process's own component;
+   - synchronization: an RMW-class primitive (CAS, fetch&add, try-lock,
+     unlock, LL/SC) on object o joins the process clock with o's release
+     clock and stores the result back — so all RMW steps on one object
+     form a chain, exactly the total order their atomicity gives them.
+
+   - realtime transaction order (only when a history is supplied): the
+     first step of transaction T joins the clocks of every transaction
+     that completed before T was invoked.  A TM is entitled to rely on
+     "T' finished before T began", so a serial execution is totally
+     ordered and lint-clean even if the TM uses only plain accesses.
+
+   Plain reads and writes deliberately do NOT synchronize: they are the
+   data accesses the race pass checks for unordered conflicting pairs.  A
+   TM whose only ordering between two conflicting data accesses of
+   overlapping transactions is "they happened to linearize in this order"
+   has a base-object race; a TM that protects them with locks/CAS metadata
+   induces a happens-before edge through that metadata and is race-free. *)
+
+open Tm_base
+open Tm_trace
+
+type step = {
+  pos : int;
+  entry : Access_log.entry;
+  before : Vclock.t;
+  after : Vclock.t;
+  sync : bool;
+}
+
+type t = {
+  arr : step array;
+  by_index : (int, int) Hashtbl.t;  (** global step index -> pos *)
+  final : (int, Vclock.t) Hashtbl.t;  (** pid -> final clock *)
+}
+
+let is_sync : Primitive.t -> bool = function
+  | Primitive.Read | Primitive.Write _ -> false
+  | Primitive.Cas _ | Primitive.Fetch_add _ | Primitive.Try_lock _
+  | Primitive.Unlock _ | Primitive.Load_linked _
+  | Primitive.Store_conditional _ ->
+      true
+
+let analyse ?history (log : Access_log.entry list) : t =
+  let pid_clock : (int, Vclock.t) Hashtbl.t = Hashtbl.create 8 in
+  let obj_clock : (Oid.t, Vclock.t) Hashtbl.t = Hashtbl.create 64 in
+  let tid_clock : (Tid.t, Vclock.t) Hashtbl.t = Hashtbl.create 8 in
+  let started : (Tid.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let clock_of tbl k =
+    Option.value ~default:Vclock.empty (Hashtbl.find_opt tbl k)
+  in
+  (* realtime order, precomputed: completed transactions sorted by
+     completion position.  The join over "everything that completed
+     before [t] began" is a prefix of that array (completion position <
+     [t]'s begin position), so cached prefix joins make the whole walk
+     amortized linear in the number of transactions.  A prefix entry is
+     only demanded once the later transaction's first step is reached,
+     by which point the completed predecessor has taken all its steps and
+     its [tid_clock] is final. *)
+  let completions =
+    match history with
+    | None -> [||]
+    | Some h ->
+        Array.of_list
+          (List.sort compare
+             (List.filter_map
+                (fun t' ->
+                  if History.live h t' then None
+                  else
+                    Option.map (fun l -> (l, t')) (History.last_pos h t'))
+                (History.txns h)))
+  in
+  let prefix = Array.make (Array.length completions + 1) Vclock.empty in
+  let filled = ref 0 in
+  let prefix_join k =
+    while !filled < k do
+      let _, t' = completions.(!filled) in
+      prefix.(!filled + 1) <-
+        Vclock.join prefix.(!filled) (clock_of tid_clock t');
+      incr filled
+    done;
+    prefix.(k)
+  in
+  let begin_pos =
+    match history with
+    | None -> fun _ -> None
+    | Some h -> fun t -> History.begin_pos h t
+  in
+  (* the join of the final clocks of every txn that completed before [t]
+     was invoked: the prefix of completions below [t]'s begin position *)
+  let predecessor_clock t =
+    match begin_pos t with
+    | None -> Vclock.empty
+    | Some b ->
+        let rec count lo hi =
+          (* completions.(0..count-1) have completion position < b *)
+          if lo >= hi then lo
+          else
+            let mid = (lo + hi) / 2 in
+            if fst completions.(mid) < b then count (mid + 1) hi
+            else count lo mid
+        in
+        prefix_join (count 0 (Array.length completions))
+  in
+  let by_index = Hashtbl.create (List.length log) in
+  let arr =
+    Array.of_list
+      (List.mapi
+         (fun pos (e : Access_log.entry) ->
+           let before = clock_of pid_clock e.Access_log.pid in
+           let before =
+             match e.Access_log.tid with
+             | Some t when not (Hashtbl.mem started t) ->
+                 Hashtbl.add started t ();
+                 Vclock.join before (predecessor_clock t)
+             | _ -> before
+           in
+           let ticked = Vclock.tick before e.Access_log.pid in
+           let sync = is_sync e.Access_log.prim in
+           let after =
+             if sync then begin
+               let joined =
+                 Vclock.join ticked (clock_of obj_clock e.Access_log.oid)
+               in
+               Hashtbl.replace obj_clock e.Access_log.oid joined;
+               joined
+             end
+             else ticked
+           in
+           Hashtbl.replace pid_clock e.Access_log.pid after;
+           (match e.Access_log.tid with
+           | Some t -> Hashtbl.replace tid_clock t after
+           | None -> ());
+           Hashtbl.replace by_index e.Access_log.index pos;
+           { pos; entry = e; before; after; sync })
+         log)
+  in
+  { arr; by_index; final = pid_clock }
+
+let steps t = Array.to_list t.arr
+let length t = Array.length t.arr
+
+let step t pos =
+  if pos < 0 || pos >= Array.length t.arr then
+    invalid_arg (Printf.sprintf "Hb.step: position %d out of range" pos);
+  t.arr.(pos)
+
+let pos_of_index t index = Hashtbl.find_opt t.by_index index
+
+(* a happens-before b iff a's step clock is below b's: a's tick is
+   included in b's knowledge.  Comparing [after a <= after b] plus
+   distinctness gives irreflexivity and matches the epoch reading: step a
+   of pid p is the (get (after a) p)-th step of p, and b knows it iff
+   get (after b) p >= that. *)
+let happens_before t a b =
+  a <> b && Vclock.leq (step t a).after (step t b).after
+
+let concurrent_pos t a b =
+  (not (happens_before t a b)) && not (happens_before t b a)
+
+let clock_of_pid t pid =
+  Option.value ~default:Vclock.empty (Hashtbl.find_opt t.final pid)

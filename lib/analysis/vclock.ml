@@ -1,0 +1,35 @@
+(* Vector clocks over pids, as balanced maps: pid sets are tiny (a
+   handful of processes), traces are long, so persistent sharing between
+   the per-step clocks stored by the happens-before engine matters more
+   than constant-factor array access.  Zero components are never stored,
+   making structural emptiness and [to_list] canonical. *)
+
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty = Imap.empty
+let get c pid = Option.value ~default:0 (Imap.find_opt pid c)
+let tick c pid = Imap.add pid (get c pid + 1) c
+
+let join a b =
+  Imap.union (fun _pid x y -> Some (max x y)) a b
+
+(* [a <= b] pointwise: every component of [a] is covered by [b].  Only
+   [a]'s bindings need checking — absent components are 0. *)
+let leq a b = Imap.for_all (fun pid n -> n <= get b pid) a
+let equal a b = Imap.equal Int.equal a b
+let lt a b = leq a b && not (equal a b)
+let concurrent a b = (not (leq a b)) && not (leq b a)
+let to_list c = Imap.bindings c
+let of_list l =
+  List.fold_left
+    (fun c (pid, n) -> if n = 0 then c else Imap.add pid n c)
+    empty l
+
+let pp ppf c =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (pid, n) -> Format.fprintf ppf "p%d:%d" pid n))
+    (to_list c)

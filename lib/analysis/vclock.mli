@@ -1,0 +1,42 @@
+(** Vector clocks over process ids — the partial order underlying the
+    pclsan happens-before engine.
+
+    A clock maps each pid to the number of causally-preceding steps of
+    that process; absent pids are implicitly 0, so the empty clock is the
+    bottom element and [join] is a pointwise max.  The laws the engine
+    relies on (join associativity/commutativity/idempotence, monotonicity
+    of [tick] and [join], antisymmetry of [leq]) are property-tested in
+    test/test_analysis.ml. *)
+
+type t
+
+val empty : t
+(** Bottom: every component 0. *)
+
+val get : t -> int -> int
+(** [get c pid] is [pid]'s component (0 when absent). *)
+
+val tick : t -> int -> t
+(** Advance one pid's component by one — a local step. *)
+
+val join : t -> t -> t
+(** Pointwise maximum — the least upper bound. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=] — the happens-before-or-equal order. *)
+
+val lt : t -> t -> bool
+(** [leq] and not equal — strict happens-before. *)
+
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val to_list : t -> (int * int) list
+(** Non-zero components, sorted by pid. *)
+
+val of_list : (int * int) list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders like [{p1:3 p2:1}]. *)

@@ -12,6 +12,8 @@ type anomaly = {
   history : History.t;
   expected : (string * bool) list;
       (** checker name -> should it be satisfied? *)
+  lints : string list;
+      (** anomaly lint passes that must fire on this history *)
 }
 
 let all_sat = [
@@ -44,6 +46,7 @@ let catalogue : anomaly list =
       history = history [ B (1, 1); W (1, "x", 1); C 1;
                           B (2, 2); R (2, "x", 1); C 2 ];
       expected = all_sat;
+      lints = [];
     };
     {
       name = "lost-update";
@@ -64,6 +67,7 @@ let catalogue : anomaly list =
             ("serializability", false);
             ("causal-serializability", false);
             ("processor-consistency", false) ];
+      lints = [ "lost-update" ];
     };
     {
       name = "write-skew";
@@ -82,6 +86,7 @@ let catalogue : anomaly list =
           [ ("opacity(final-state)", false);
             ("strict-serializability", false);
             ("serializability", false) ];
+      lints = [ "write-skew" ];
     };
     {
       name = "long-fork";
@@ -102,6 +107,7 @@ let catalogue : anomaly list =
             ("serializability", false);
             ("snapshot-isolation", false);
             ("snapshot-isolation(ei)", false) ];
+      lints = [];
     };
     {
       name = "causality-violation";
@@ -121,6 +127,7 @@ let catalogue : anomaly list =
             ("snapshot-isolation", false);
             ("snapshot-isolation(ei)", false);
             ("causal-serializability", false) ];
+      lints = [];
     };
     {
       name = "same-item-write-reorder";
@@ -146,6 +153,7 @@ let catalogue : anomaly list =
             ("snapshot-isolation(ei)", false);
             ("causal-serializability", false);
             ("processor-consistency", false) ];
+      lints = [];
     };
     {
       name = "write-order-disagreement";
@@ -172,6 +180,7 @@ let catalogue : anomaly list =
             ("causal-serializability", false);
             ("processor-consistency", false);
             ("weak-adaptive", false) ];
+      lints = [];
     };
     {
       name = "program-order-violation";
@@ -194,6 +203,7 @@ let catalogue : anomaly list =
             ("pram", false);
             ("snapshot-isolation", false);
             ("snapshot-isolation(ei)", false) ];
+      lints = [];
     };
     {
       name = "torn-read";
@@ -216,6 +226,7 @@ let catalogue : anomaly list =
             ("snapshot-isolation", false);
             ("snapshot-isolation(ei)", false);
             ("weak-adaptive", false) ];
+      lints = [ "torn-snapshot" ];
     };
     {
       name = "read-only-anomaly";
@@ -234,6 +245,7 @@ let catalogue : anomaly list =
           [ ("opacity(final-state)", false);
             ("strict-serializability", false);
             ("serializability", false) ];
+      lints = [];
     };
     {
       name = "aborted-dirty-read";
@@ -245,6 +257,7 @@ let catalogue : anomaly list =
           [ B (1, 1); W (1, "x", 1); W (1, "y", 1); C 1;
             B (2, 2); R (2, "x", 1); R (2, "y", 0); Ca 2 ];
       expected = override all_sat [ ("opacity(final-state)", false) ];
+      lints = [ "torn-snapshot" ];
     };
     {
       name = "dirty-read-from-aborted";
@@ -268,6 +281,7 @@ let catalogue : anomaly list =
             ("snapshot-isolation", false);
             ("snapshot-isolation(ei)", false);
             ("weak-adaptive", false) ];
+      lints = [];
     };
     {
       name = "stale-read-after-commit";
@@ -284,6 +298,7 @@ let catalogue : anomaly list =
             ("strict-serializability", false);
             ("snapshot-isolation", false);
             ("snapshot-isolation(ei)", false) ];
+      lints = [];
     };
     {
       name = "commit-pending-write-observed";
@@ -295,6 +310,7 @@ let catalogue : anomaly list =
           [ B (1, 1); W (1, "x", 7); Cp 1;
             B (2, 2); R (2, "x", 7); C 2 ];
       expected = all_sat;
+      lints = [];
     };
   ]
 

@@ -10,6 +10,10 @@ type anomaly = {
   history : History.t;
   expected : (string * bool) list;
       (** checker name -> should it be satisfied? *)
+  lints : string list;
+      (** pclsan anomaly passes ([lost-update], [write-skew],
+          [torn-snapshot]) that must fire on this history — the
+          positive/negative corpus for the lint tests *)
 }
 
 val catalogue : anomaly list

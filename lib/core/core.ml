@@ -10,7 +10,9 @@
    - {!Conflict} .. {!Obstruction_freedom}: disjoint-access-parallelism
      and liveness detectors.
    - {!Tm_intf} .. {!Registry}: the TM implementations.
-   - {!Pcl_*}: the mechanized Section-4 proof construction. *)
+   - {!Pcl_*}: the mechanized Section-4 proof construction.
+   - {!Vclock} .. {!Lints}: pclsan, the happens-before engine and lint
+     passes over recorded executions. *)
 
 (* observability: the telemetry layer everything below records into *)
 module Metrics = Tm_obs.Metrics
@@ -98,6 +100,14 @@ module Linearizability = Tm_universal.Linearizability
 module Liveness_class = Tm_probe.Liveness_class
 module Workload = Tm_probe.Workload
 module Progress = Tm_probe.Progress
+
+(* pclsan: the happens-before engine and lint passes *)
+module Vclock = Tm_analysis.Vclock
+module Hb = Tm_analysis.Hb
+module Lint = Tm_analysis.Lint
+module Lint_passes = Tm_analysis.Passes
+module Figure_lint = Tm_analysis.Figure_lint
+module Lints = Tm_analysis.Lints
 
 (* the mechanized proof *)
 module Pcl_txns = Pcl.Txns

@@ -9,6 +9,10 @@ type access_summary = {
   objects : bool Oid.Map.t;  (** oid -> applied a non-trivial primitive? *)
 }
 
+(* The per-transaction (Tid, Oid) footprint is accumulated into a map, so
+   repeated accesses to the same object collapse into one pair; the final
+   summaries are sorted by [Tid.compare] so callers (and lint witnesses)
+   see the same order on every run regardless of hash-table iteration. *)
 let summarize (log : Access_log.entry list) : access_summary list =
   let tbl : (Tid.t, bool Oid.Map.t) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -24,8 +28,11 @@ let summarize (log : Access_log.entry list) : access_summary list =
             (Oid.Map.add e.oid (prev || Primitive.non_trivial e.prim) m))
     log;
   Hashtbl.fold (fun tid objects acc -> { tid; objects } :: acc) tbl []
+  |> List.sort (fun s1 s2 -> Tid.compare s1.tid s2.tid)
 
-(** Objects on which two transactions contend in the log. *)
+(** Objects on which two transactions contend in the log, sorted by
+    [Oid.compare] and deduplicated, so contention witnesses are stable
+    across runs. *)
 let contended_objects (s1 : access_summary) (s2 : access_summary) :
     Oid.t list =
   Oid.Map.fold
@@ -34,10 +41,12 @@ let contended_objects (s1 : access_summary) (s2 : access_summary) :
       | Some nt2 when nt1 || nt2 -> oid :: acc
       | Some _ | None -> acc)
     s1.objects []
+  |> List.sort_uniq Oid.compare
 
 type contention = { t1 : Tid.t; t2 : Tid.t; objects : Oid.t list }
 
-(** Every contending pair of transactions in the log. *)
+(** Every contending pair of transactions in the log, ordered by
+    [(t1, t2)] with [t1 < t2]. *)
 let all_contentions (log : Access_log.entry list) : contention list =
   let summaries = summarize log in
   let rec go acc = function
@@ -53,4 +62,4 @@ let all_contentions (log : Access_log.entry list) : contention list =
         in
         go acc rest
   in
-  go [] summaries
+  List.rev (go [] summaries)

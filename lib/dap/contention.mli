@@ -10,9 +10,15 @@ type access_summary = {
 }
 
 val summarize : Access_log.entry list -> access_summary list
+(** Per-transaction footprints, sorted by [Tid.compare]; repeated
+    [(Tid, Oid)] accesses collapse into one map entry, so the output is
+    duplicate-free and deterministic across runs. *)
+
 val contended_objects : access_summary -> access_summary -> Oid.t list
+(** Sorted by [Oid.compare], duplicate-free — stable lint witnesses. *)
 
 type contention = { t1 : Tid.t; t2 : Tid.t; objects : Oid.t list }
 
 val all_contentions : Access_log.entry list -> contention list
-(** Every contending pair of transactions in the log. *)
+(** Every contending pair of transactions in the log, ordered by
+    [(t1, t2)] with [t1 < t2]. *)

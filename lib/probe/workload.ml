@@ -130,6 +130,20 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
   in
   let completed = round 0 in
   let log = Access_log.entries (Memory.log mem) in
+  (* fill in the run context so an installed recorder's artifact is
+     replayable/lintable, as Sim.replay does for scripted schedules *)
+  (match Flight.default () with
+  | Some fl ->
+      Flight.set_names fl
+        (Array.init (Memory.n_objects mem) (Memory.name_of mem));
+      Flight.set_history fl (Recorder.history recorder);
+      Flight.set_meta fl "tm" M.name;
+      Flight.set_meta fl "workload" "scaling";
+      Flight.set_meta fl "seed" (string_of_int cfg.seed);
+      Flight.set_meta fl "stop"
+        (if completed then "completed" else "budget-exhausted");
+      Flight.set_meta fl "steps" (string_of_int (List.length log))
+  | None -> ());
   let contentions = Contention.all_contentions log in
   (* data sets for DAP classification: collect per-txn items from the
      history *)

@@ -86,6 +86,16 @@ let steps t =
   let kept = min t.total t.cap in
   List.init kept (fun i -> t.buf.((t.total - kept + i) mod t.cap))
 
+let find_step t index =
+  let kept = min t.total t.cap in
+  let rec scan i =
+    if i >= kept then None
+    else
+      let e = t.buf.((t.total - kept + i) mod t.cap) in
+      if e.Access_log.index = index then Some e else scan (i + 1)
+  in
+  scan 0
+
 let set_names t names = t.names <- names
 
 let name_of t (oid : Oid.t) =

@@ -45,6 +45,11 @@ val dropped : t -> int
 val steps : t -> Access_log.entry list
 (** Retained steps, oldest first. *)
 
+val find_step : t -> int -> Access_log.entry option
+(** Look up a retained step by its global index ([Access_log.entry.index]),
+    e.g. to render a lint finding's witness; [None] once the ring has
+    dropped it. *)
+
 (** {1 Run context} *)
 
 val set_names : t -> string array -> unit

@@ -1,0 +1,397 @@
+(* pclsan: vector-clock laws (qcheck), happens-before sanity on recorded
+   executions, one positive and one negative trace per lint pass, the
+   anomaly-catalogue cross-check, registry lookup, and the golden Figure-2
+   lint JSONL snapshot. *)
+
+open Core
+
+let oid_name o = "oid" ^ string_of_int (Oid.to_int o)
+
+(* a lint input from a bare history (the anomaly passes are history-level) *)
+let input_of_history h =
+  {
+    Lint.log = [];
+    history = h;
+    name_of = oid_name;
+    data_sets = None;
+    tm = None;
+    meta = [];
+  }
+
+(* a lint input from a recorded construction run *)
+let input_of_run ?tm impl atoms =
+  let _, fl = Pcl_figures.record_run impl atoms in
+  { (Lint.input_of_flight fl) with Lint.data_sets = Some Pcl_txns.data_sets;
+    tm }
+
+let fired passes input =
+  List.sort_uniq compare
+    (List.map
+       (fun (f : Lint.finding) -> f.Lint.pass)
+       (Lints.run_passes passes input).Lints.findings)
+
+let construction impl =
+  match Pcl_constructions.build impl with
+  | Ok c -> c
+  | Error _ -> Alcotest.fail "construction unexpectedly failed"
+
+(* ------------------------------------------------------------------ *)
+(* vector-clock laws *)
+
+let gen_vclock : Vclock.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  map Vclock.of_list
+    (list_size (int_bound 6)
+       (pair (int_bound 5) (int_bound 20)))
+
+let arb_vclock = QCheck.make ~print:(Fmt.to_to_string Vclock.pp) gen_vclock
+
+let qtest name count law = QCheck.Test.make ~name ~count law
+
+let vclock_laws =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qtest "leq reflexive" 200 (QCheck.make gen_vclock)
+        (fun a -> Vclock.leq a a);
+      qtest "leq antisymmetric" 500
+        (QCheck.pair arb_vclock arb_vclock)
+        (fun (a, b) ->
+          (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b);
+      qtest "leq transitive" 500
+        (QCheck.triple arb_vclock arb_vclock arb_vclock)
+        (fun (a, b, c) ->
+          (not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c);
+      qtest "join is an upper bound" 500
+        (QCheck.pair arb_vclock arb_vclock)
+        (fun (a, b) ->
+          Vclock.leq a (Vclock.join a b) && Vclock.leq b (Vclock.join a b));
+      qtest "join is the least upper bound" 500
+        (QCheck.triple arb_vclock arb_vclock arb_vclock)
+        (fun (a, b, c) ->
+          (not (Vclock.leq a c && Vclock.leq b c))
+          || Vclock.leq (Vclock.join a b) c);
+      qtest "join commutative" 500
+        (QCheck.pair arb_vclock arb_vclock)
+        (fun (a, b) -> Vclock.equal (Vclock.join a b) (Vclock.join b a));
+      qtest "join associative" 500
+        (QCheck.triple arb_vclock arb_vclock arb_vclock)
+        (fun (a, b, c) ->
+          Vclock.equal
+            (Vclock.join a (Vclock.join b c))
+            (Vclock.join (Vclock.join a b) c));
+      qtest "join idempotent" 200 arb_vclock
+        (fun a -> Vclock.equal (Vclock.join a a) a);
+      qtest "tick strictly increases" 200
+        (QCheck.pair arb_vclock (QCheck.int_bound 5))
+        (fun (a, p) -> Vclock.lt a (Vclock.tick a p));
+      qtest "concurrent iff incomparable" 500
+        (QCheck.pair arb_vclock arb_vclock)
+        (fun (a, b) ->
+          Vclock.concurrent a b
+          = ((not (Vclock.leq a b)) && not (Vclock.leq b a)));
+    ]
+
+let test_vclock_canonical () =
+  Alcotest.(check (list (pair int int)))
+    "of_list drops zero components" [ (2, 3) ]
+    (Vclock.to_list (Vclock.of_list [ (1, 0); (2, 3) ]));
+  Alcotest.(check int)
+    "get of missing component" 0
+    (Vclock.get Vclock.empty 4);
+  Alcotest.(check bool)
+    "empty below everything" true
+    (Vclock.leq Vclock.empty (Vclock.of_list [ (0, 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* happens-before on a recorded execution *)
+
+let test_hb_order () =
+  let input =
+    input_of_run (Registry.find_exn "candidate")
+      (Pcl_constructions.beta (construction (Registry.find_exn "candidate")))
+  in
+  let hb = Hb.analyse ~history:input.Lint.history input.Lint.log in
+  let n = Hb.length hb in
+  Alcotest.(check bool) "trace recorded" true (n > 0);
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Hb.happens_before hb a b then begin
+        if Hb.happens_before hb b a then
+          Alcotest.failf "hb not antisymmetric: %d <-> %d" a b;
+        (* hb is consistent with the interleaving order *)
+        if a >= b then
+          Alcotest.failf "hb against trace order: %d -> %d" a b
+      end;
+      (* program order: same-process steps are always ordered *)
+      let pa = (Hb.step hb a).Hb.entry.Access_log.pid
+      and pb = (Hb.step hb b).Hb.entry.Access_log.pid in
+      if a < b && pa = pb && not (Hb.happens_before hb a b) then
+        Alcotest.failf "program order lost: %d -> %d of p%d" a b pa
+    done
+  done;
+  (* transitivity *)
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      for c = b + 1 to n - 1 do
+        if
+          Hb.happens_before hb a b
+          && Hb.happens_before hb b c
+          && not (Hb.happens_before hb a c)
+        then Alcotest.failf "hb not transitive: %d %d %d" a b c
+      done
+    done
+  done
+
+let test_hb_serial_total () =
+  (* the serial execution delta1 is totally ordered by realtime order *)
+  let input =
+    input_of_run (Registry.find_exn "candidate") Pcl_constructions.delta1
+  in
+  let hb = Hb.analyse ~history:input.Lint.history input.Lint.log in
+  let n = Hb.length hb in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Hb.concurrent_pos hb a b then
+        Alcotest.failf "serial steps unordered: %d and %d" a b
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* one positive and one negative trace per pass *)
+
+let beta_input name =
+  let impl = Registry.find_exn name in
+  input_of_run ~tm:name impl (Pcl_constructions.beta (construction impl))
+
+let test_race_pos_neg () =
+  let fires name = fired [ Lint_passes.race ] (beta_input name) in
+  Alcotest.(check (list string))
+    "candidate's unsynchronized cells race" [ "race" ] (fires "candidate");
+  Alcotest.(check (list string))
+    "llsc-candidate is race-free" [] (fires "llsc-candidate")
+
+let test_strict_dap_pos_neg () =
+  let fires name = fired [ Lint_passes.strict_dap ] (beta_input name) in
+  Alcotest.(check (list string))
+    "dstm's central status word breaks strict DAP" [ "strict-dap" ]
+    (fires "dstm");
+  Alcotest.(check (list string))
+    "candidate is strictly DAP" [] (fires "candidate")
+
+let test_of_stall_pos_neg () =
+  (* positive: tl-lock's stall probe (writer paused mid-commit, reader
+     solo past the horizon) must trip of-stall *)
+  let obs = Figure_lint.observe (Registry.find_exn "tl-lock") in
+  Alcotest.(check bool)
+    "tl-lock stalls on the probe" true
+    (List.mem "of-stall" obs.Figure_lint.stall);
+  (* negative: the serial execution shows no stall *)
+  Alcotest.(check (list string))
+    "serial run never stalls" []
+    (fired [ Lint_passes.of_stall ]
+       (input_of_run ~tm:"tl-lock" (Registry.find_exn "tl-lock")
+          Pcl_constructions.delta1))
+
+(* anomaly passes, driven by the catalogue's [lints] field: each entry
+   lists exactly the anomaly passes that must fire on its history, so
+   every pass gets its positives and all other entries are its negatives *)
+let test_anomaly_catalogue () =
+  let anomaly_passes =
+    [ Lint_passes.lost_update; Lint_passes.write_skew;
+      Lint_passes.torn_snapshot ]
+  in
+  List.iter
+    (fun (a : Anomalies.anomaly) ->
+      Alcotest.(check (list string))
+        a.Anomalies.name
+        (List.sort_uniq compare a.Anomalies.lints)
+        (fired anomaly_passes (input_of_history a.Anomalies.history)))
+    Anomalies.catalogue
+
+let test_serial_clean () =
+  (* acceptance: zero findings of any trace pass on a serial execution *)
+  List.iter
+    (fun name ->
+      Alcotest.(check (list string))
+        (name ^ " serial execution is lint-clean") []
+        (fired Lint_passes.trace_passes
+           (input_of_run ~tm:name (Registry.find_exn name)
+              Pcl_constructions.delta1)))
+    [ "tl-lock"; "candidate"; "si-clock"; "llsc-candidate" ]
+
+(* ------------------------------------------------------------------ *)
+(* the figure-consistency pass *)
+
+let test_figure_expectations () =
+  (* positive: the recorded expectations hold for every registered TM,
+     so the pass itself reports nothing *)
+  List.iter
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      match Figure_lint.expected M.name with
+      | None -> Alcotest.failf "no expectation recorded for %s" M.name
+      | Some _ ->
+          Alcotest.(check (list string))
+            (M.name ^ " figure expectations hold") []
+            (fired [ Figure_lint.pass ]
+               { (input_of_history (History.of_list [])) with
+                 Lint.tm = Some M.name }))
+    [ Registry.find_exn "candidate"; Registry.find_exn "tl-lock";
+      Registry.find_exn "pram-local" ]
+
+let test_figure_observation_kinds () =
+  (* the three corners of the triangle observed directly *)
+  let obs name = Figure_lint.observe (Registry.find_exn name) in
+  (match (obs "tl-lock").Figure_lint.outcome with
+  | Figure_lint.Liveness_blocked _ -> ()
+  | _ -> Alcotest.fail "tl-lock should block the construction");
+  (match (obs "pram-local").Figure_lint.outcome with
+  | Figure_lint.No_flip _ -> ()
+  | _ -> Alcotest.fail "pram-local should never flip the reader");
+  match (obs "candidate").Figure_lint.outcome with
+  | Figure_lint.Built fires ->
+      Alcotest.(check (list string))
+        "candidate's beta races" [ "race" ] fires
+  | _ -> Alcotest.fail "candidate's construction should build"
+
+(* ------------------------------------------------------------------ *)
+(* registry: lookup, prefixes, plug-ins, expected classification *)
+
+let test_lookup () =
+  (match Lints.lookup "torn-snapshot" with
+  | Lints.Found p ->
+      Alcotest.(check string) "exact" "torn-snapshot" p.Lint.name
+  | _ -> Alcotest.fail "exact lookup failed");
+  (match Lints.lookup "tor" with
+  | Lints.Found p ->
+      Alcotest.(check string) "prefix" "torn-snapshot" p.Lint.name
+  | _ -> Alcotest.fail "prefix lookup failed");
+  (match Lints.lookup "no-such-pass" with
+  | Lints.Unknown -> ()
+  | _ -> Alcotest.fail "unknown name should not resolve");
+  match Lints.lookup "" with
+  | Lints.Ambiguous names ->
+      Alcotest.(check bool)
+        "empty prefix matches everything" true
+        (List.length names >= List.length Lints.builtin)
+  | _ -> Alcotest.fail "empty prefix should be ambiguous"
+
+let test_plugin_registration () =
+  let dummy =
+    {
+      Lint.name = "test-dummy";
+      describe = "plug-in used by the test suite";
+      paper = "n/a";
+      run = (fun _ _ -> []);
+    }
+  in
+  Lint.register dummy;
+  Alcotest.(check bool)
+    "plug-in listed" true
+    (List.exists
+       (fun (p : Lint.pass) -> p.Lint.name = "test-dummy")
+       (Lints.all ()));
+  match Lints.lookup "test-dummy" with
+  | Lints.Found p ->
+      Alcotest.(check string) "plug-in resolvable" "test-dummy" p.Lint.name
+  | _ -> Alcotest.fail "plug-in not resolvable"
+
+let test_expected_classification () =
+  let finding pass severity =
+    {
+      Lint.pass;
+      severity;
+      step = None;
+      txns = [];
+      oids = [];
+      witness_steps = [];
+      message = "x";
+    }
+  in
+  Alcotest.(check bool)
+    "strict-dap expected for tl2-clock" true
+    (Lints.is_expected ~tm:(Some "tl2-clock")
+       (finding "strict-dap" Lint.Error));
+  Alcotest.(check bool)
+    "strict-dap a surprise for candidate" false
+    (Lints.is_expected ~tm:(Some "candidate")
+       (finding "strict-dap" Lint.Error));
+  Alcotest.(check bool)
+    "unknown TM expects nothing" false
+    (Lints.is_expected ~tm:None (finding "race" Lint.Warning));
+  Alcotest.(check bool)
+    "info findings always expected" true
+    (Lints.is_expected ~tm:None (finding "race" Lint.Info))
+
+(* ------------------------------------------------------------------ *)
+(* golden lint JSONL for Figure 2 (beta' on the candidate TM) *)
+
+let test_golden_fig2_jsonl () =
+  let impl = Registry.find_exn "candidate" in
+  let input =
+    input_of_run ~tm:"candidate" impl
+      (Pcl_constructions.beta' (construction impl))
+  in
+  let lines =
+    List.map
+      (fun f -> Obs_json.to_string (Lint.finding_json f))
+      (Lints.run_passes Lint_passes.trace_passes input).Lints.findings
+  in
+  Alcotest.(check (list string))
+    "figure 2 lint lines"
+    [
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":11,\"txns\":[1,2],\"oids\":[0],\"witness_steps\":[5,11],\"message\":\"unordered conflicting accesses to cell:a: p1's cas (step 5) and p2's read (step 11) have no happens-before edge\"}";
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":15,\"txns\":[2,5],\"oids\":[2],\"witness_steps\":[14,15],\"message\":\"unordered conflicting accesses to cell:b2: p2's cas (step 14) and p5's read (step 15) have no happens-before edge\"}";
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":20,\"txns\":[2,5],\"oids\":[5],\"witness_steps\":[10,20],\"message\":\"unordered conflicting accesses to cell:b5: p2's read (step 10) and p5's cas (step 20) have no happens-before edge\"}";
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":36,\"txns\":[1,7],\"oids\":[0],\"witness_steps\":[5,36],\"message\":\"unordered conflicting accesses to cell:a: p1's cas (step 5) and p7's read (step 36) have no happens-before edge\"}";
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":36,\"txns\":[2,7],\"oids\":[0],\"witness_steps\":[12,36],\"message\":\"unordered conflicting accesses to cell:a: p2's cas (step 12) and p7's read (step 36) have no happens-before edge\"}";
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":43,\"txns\":[1,7],\"oids\":[7],\"witness_steps\":[2,43],\"message\":\"unordered conflicting accesses to cell:b7: p1's read (step 2) and p7's cas (step 43) have no happens-before edge\"}";
+      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":43,\"txns\":[2,7],\"oids\":[7],\"witness_steps\":[9,43],\"message\":\"unordered conflicting accesses to cell:b7: p2's read (step 9) and p7's cas (step 43) have no happens-before edge\"}";
+    ]
+    lines
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("vclock-laws", vclock_laws);
+      ( "vclock",
+        [ Alcotest.test_case "canonical form" `Quick test_vclock_canonical ]
+      );
+      ( "hb",
+        [
+          Alcotest.test_case "partial order on beta" `Quick test_hb_order;
+          Alcotest.test_case "serial runs totally ordered" `Quick
+            test_hb_serial_total;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "race pos/neg" `Quick test_race_pos_neg;
+          Alcotest.test_case "strict-dap pos/neg" `Quick
+            test_strict_dap_pos_neg;
+          Alcotest.test_case "of-stall pos/neg" `Quick test_of_stall_pos_neg;
+          Alcotest.test_case "anomaly catalogue" `Quick
+            test_anomaly_catalogue;
+          Alcotest.test_case "serial executions clean" `Quick
+            test_serial_clean;
+        ] );
+      ( "figure-consistency",
+        [
+          Alcotest.test_case "expectations hold" `Slow
+            test_figure_expectations;
+          Alcotest.test_case "observation kinds" `Quick
+            test_figure_observation_kinds;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "lookup and prefixes" `Quick test_lookup;
+          Alcotest.test_case "plug-in registration" `Quick
+            test_plugin_registration;
+          Alcotest.test_case "expected classification" `Quick
+            test_expected_classification;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "figure-2 lint JSONL" `Quick
+            test_golden_fig2_jsonl;
+        ] );
+    ]
