@@ -18,6 +18,7 @@
      checkers    decision-procedure microbenchmarks, bechamel (T-C)
      flight      flight-recorder overhead on the mixed workload
      lint        per-pass pclsan cost over the recorded workload
+     chaos       fault-hook overhead on the raw Memory.apply step path
      hierarchy   the anomaly x checker separation matrix (T-D)
 *)
 
@@ -74,11 +75,13 @@ let parse_cli () : cli =
     sections = List.rev !sections;
   }
 
-(* --json with no explicit sections runs only the scaling sweep (the
-   machine-readable artifact); otherwise no sections means all. *)
+(* --json with no explicit sections runs only the machine-readable
+   artifacts (the scaling sweep and the chaos fault-hook overhead);
+   otherwise no sections means all. *)
 let section_enabled cli name =
   let requested = cli.sections in
-  (requested = [] && ((not cli.json) || name = "scaling"))
+  (requested = []
+  && ((not cli.json) || name = "scaling" || name = "chaos"))
   || List.mem name requested
   || (List.mem "figures" requested
      && String.length name = 4
@@ -400,6 +403,58 @@ let lint_overhead ~iters ~seed () =
     Lint_passes.trace_passes
 
 (* ------------------------------------------------------------------ *)
+(* chaos: fault-hook overhead on the raw step path.  The fault hook is
+   consulted before every Memory.apply, so the number that matters is
+   what an installed but never-firing hook costs per step — the price
+   every chaos cell pays on top of the plain simulation (the shipping
+   default is no hook at all). *)
+
+type chaos_row = { prim : string; reps : int; off_ns : float; on_ns : float }
+
+let chaos_overhead ~iters () =
+  let reps = max 200_000 (iters * 8_000) in
+  let time f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      ignore (f ());
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let never_fires ~pid:_ ~tid:_ ~step:_ _ _ = None in
+  let run prim hooked () =
+    let mem = Memory.create () in
+    let x = Memory.alloc mem ~name:"bench:x" (Value.int 0) in
+    if hooked then Memory.set_fault_hook mem never_fires;
+    for _ = 1 to reps do
+      ignore (Memory.apply mem ~pid:1 x prim)
+    done
+  in
+  Format.printf
+    "fault-hook cost per Memory.apply (hook installed, never firing), %d \
+     steps per run, best of 5 runs:@."
+    reps;
+  Format.printf "%-10s %14s %14s %9s@." "prim" "off ns/step" "on ns/step"
+    "overhead";
+  List.map
+    (fun (name, prim) ->
+      let off = time (run prim false) in
+      let on = time (run prim true) in
+      let ns t = t *. 1e9 /. float_of_int reps in
+      Format.printf "%-10s %14.2f %14.2f %8.1f%%@." name (ns off) (ns on)
+        ((on -. off) /. off *. 100.);
+      { prim = name; reps; off_ns = ns off; on_ns = ns on })
+    [
+      ("read", Primitive.Read);
+      ("write", Primitive.Write (Value.int 1));
+      ("cas", Primitive.Cas { expected = Value.int 0; desired = Value.int 0 });
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* T-D: hierarchy matrix *)
 
 let hierarchy () =
@@ -452,7 +507,16 @@ let row_json (r : scaling_row) : Obs_json.t =
       ("completed", Obs_json.Bool s.Workload.completed);
     ]
 
-let write_summary cli (rows : scaling_row list) =
+let chaos_row_json (r : chaos_row) : Obs_json.t =
+  Obs_json.Obj
+    [
+      ("prim", Obs_json.String r.prim);
+      ("steps", Obs_json.Int r.reps);
+      ("off_ns_per_step", Obs_json.Float r.off_ns);
+      ("on_ns_per_step", Obs_json.Float r.on_ns);
+    ]
+
+let write_summary cli (rows : scaling_row list) (chaos : chaos_row list) =
   let metric_lines =
     List.filter
       (fun j ->
@@ -466,6 +530,7 @@ let write_summary cli (rows : scaling_row list) =
         ("iters", Obs_json.Int cli.iters);
         ("seed", Obs_json.Int cli.seed);
         ("scaling", Obs_json.List (List.map row_json rows));
+        ("chaos", Obs_json.List (List.map chaos_row_json chaos));
         ("metrics", Obs_json.List metric_lines);
       ]
   in
@@ -482,6 +547,7 @@ let () =
   Sink.set_meta Sink.default "iters" (string_of_int cli.iters);
   Sink.set_meta Sink.default "seed" (string_of_int cli.seed);
   let scaling_rows = ref [] in
+  let chaos_rows = ref [] in
   let sections =
     [
       ("fig1", fun () -> fig12 `Fig1);
@@ -497,6 +563,7 @@ let () =
       ("checkers", checkers);
       ("flight", fun () -> flight_overhead ~iters:cli.iters ~seed:cli.seed ());
       ("lint", fun () -> lint_overhead ~iters:cli.iters ~seed:cli.seed ());
+      ("chaos", fun () -> chaos_rows := chaos_overhead ~iters:cli.iters ());
       ("hierarchy", hierarchy);
       ("progress", progress);
       ("liveness", liveness);
@@ -509,4 +576,4 @@ let () =
         f ()
       end)
     sections;
-  if cli.json then write_summary cli !scaling_rows
+  if cli.json then write_summary cli !scaling_rows !chaos_rows

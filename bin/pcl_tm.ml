@@ -713,6 +713,43 @@ let pp_flight_verdict ppf (v : Flight.verdict) =
           (String.concat "," (List.map string_of_int steps)))
     v.Flight.axiom
 
+(* "p1@42,p2@100" — the crashes meta written by Sim — as (pid, step) *)
+let pid_steps_of_meta s =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '@' with
+      | Some i when String.length tok > 1 && tok.[0] = 'p' ->
+          let pid = int_of_string_opt (String.sub tok 1 (i - 1)) in
+          let step =
+            int_of_string_opt
+              (String.sub tok (i + 1) (String.length tok - i - 1))
+          in
+          (match (pid, step) with
+          | Some p, Some s -> Some (p, s)
+          | _ -> None)
+      | _ -> None)
+    (String.split_on_char ',' s)
+
+(* "budget-exhausted:p1@#42" / "...@start" -> (pid, last step index) *)
+let stall_of_stop s =
+  let pfx = "budget-exhausted:" in
+  let n = String.length pfx in
+  if String.length s > n && String.sub s 0 n = pfx then
+    let rest = String.sub s n (String.length s - n) in
+    match String.index_opt rest '@' with
+    | Some i when i > 1 && rest.[0] = 'p' -> (
+        let tail = String.sub rest (i + 1) (String.length rest - i - 1) in
+        let step =
+          if String.length tail > 1 && tail.[0] = '#' then
+            int_of_string_opt (String.sub tail 1 (String.length tail - 1))
+          else None
+        in
+        match int_of_string_opt (String.sub rest 1 (i - 1)) with
+        | Some pid -> Some (pid, step)
+        | None -> None)
+    | _ -> None
+  else None
+
 let explain_cmd =
   let file =
     Arg.(
@@ -744,6 +781,35 @@ let explain_cmd =
           "ring" (Flight.recorded fl)
           (List.length (Flight.steps fl))
           (Flight.dropped fl);
+        (* stall attribution: the stop meta names the wedged process and
+           the index of its last step; resolve it in the ring if it was
+           retained *)
+        (match Option.bind (Flight.meta_value fl "stop") stall_of_stop with
+        | Some (pid, None) ->
+            Format.printf
+              "stall: p%d exhausted the budget without taking a step@." pid
+        | Some (pid, Some k) -> (
+            match Flight.find_step fl k with
+            | Some e ->
+                Format.printf "stall: p%d wedged after %a@." pid
+                  (Access_log.pp_entry ~name_of:(Flight.name_of fl))
+                  e
+            | None ->
+                Format.printf
+                  "stall: p%d wedged after step #%d (not retained in the \
+                   ring)@."
+                  pid k)
+        | None -> ());
+        let crash_steps =
+          match Flight.meta_value fl "crashes" with
+          | Some s -> pid_steps_of_meta s
+          | None -> []
+        in
+        List.iter
+          (fun (pid, step) ->
+            Format.printf "crash: p%d crash-stopped at step #%d@." pid step)
+          crash_steps;
+        if crash_steps <> [] then Format.printf "@.";
         let history = Flight.history fl in
         let log = Flight.steps fl in
         (* stored verdicts are the trace's own provenance; -c recomputes
@@ -770,6 +836,7 @@ let explain_cmd =
         let verdicts = Flight.verdicts fl @ recomputed in
         let highlight =
           List.concat_map (fun v -> v.Flight.witness_steps) verdicts
+          @ List.map snd crash_steps
           |> List.sort_uniq compare
         in
         print_string
@@ -939,7 +1006,8 @@ let lint_cmd =
         | Ok fl ->
             lint_one ~target:file
               (Lint.input_of_flight fl)
-              (chosen ~default:Lint_passes.trace_passes))
+              (chosen
+                 ~default:(Lint_passes.trace_passes @ Lint.registered ())))
       traces;
     let impls =
       if all_tms then Registry.all
@@ -993,6 +1061,177 @@ let lint_cmd =
     Term.(
       const run $ tm_arg $ traces $ pass_filter $ all_tms $ horizon
       $ connectivity $ max_findings $ json $ output)
+
+(* ------------------------------------------------------------------ *)
+(* chaos: fault injection x contention management, the per-TM robustness
+   matrix. *)
+
+let chaos_cmd =
+  let all_tms =
+    Arg.(
+      value & flag
+      & info [ "all-tms" ]
+          ~doc:
+            "Sweep every TM in the registry (the default when no $(b,-t) \
+             is given).")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"CLASS"
+          ~doc:
+            "Fault class to inject: none, crash, park, spurious or poison \
+             (repeatable; default all).")
+  in
+  let cms =
+    Arg.(
+      value & opt_all string []
+      & info [ "cm" ] ~docv:"POLICY"
+          ~doc:
+            "Contention manager: immediate, backoff, polite or karma \
+             (repeatable; default all).")
+  in
+  let iters =
+    Arg.(
+      value & opt string "default"
+      & info [ "iters" ] ~docv:"N"
+          ~doc:
+            "Transactions per process, or the preset $(b,small) (the CI \
+             smoke size).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Sweep seed: victim selection, fault placement and backoff \
+             jitter all derive from it, so the same seed reproduces the \
+             matrix byte for byte.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the matrix as JSONL on stdout.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL matrix to $(docv).")
+  in
+  let run tm all_tms faults cms iters seed json output record dump_dir =
+    let tms = if all_tms then Registry.all else impls_of tm in
+    let base =
+      match iters with
+      | "default" -> Chaos_run.default
+      | "small" -> Chaos_run.small
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> { Chaos_run.default with txns_per_proc = n }
+          | _ ->
+              Fmt.failwith "--iters expects a positive integer or `small'")
+    in
+    let faults =
+      match faults with
+      | [] -> Fault.all
+      | names -> List.map Fault.of_name_exn names
+    in
+    let cms =
+      match cms with [] -> Cm.all | names -> List.map Cm.find_exn names
+    in
+    let cfg = { base with Chaos_run.tms; faults; cms; seed } in
+    if record then ensure_dir dump_dir;
+    let artifacts = ref [] in
+    let cells =
+      Chaos_run.finalize cfg
+        (List.map
+           (fun (impl, klass, policy) ->
+             if not record then Chaos_run.run_cell cfg impl klass policy
+             else begin
+               let fl = Flight.create () in
+               let c =
+                 Flight.with_recorder fl (fun () ->
+                     Chaos_run.run_cell cfg impl klass policy)
+               in
+               Flight.set_meta fl "tm" c.Chaos_run.tm;
+               Flight.set_meta fl "fault" c.Chaos_run.fault;
+               Flight.set_meta fl "cm" c.Chaos_run.cm;
+               Flight.set_meta fl "seed" (string_of_int seed);
+               let file =
+                 Filename.concat dump_dir
+                   (Printf.sprintf "chaos-%s-%s-%s.trace.jsonl"
+                      c.Chaos_run.tm c.Chaos_run.fault c.Chaos_run.cm)
+               in
+               Flight.write_jsonl fl file;
+               artifacts := file :: !artifacts;
+               c
+             end)
+           (Chaos_run.combos cfg))
+    in
+    let violations =
+      List.fold_left
+        (fun acc c -> acc + c.Chaos_run.closure_violations)
+        0 cells
+    in
+    let jsonl =
+      String.concat ""
+        (List.map
+           (fun c -> Obs_json.to_string (Chaos_run.cell_json c) ^ "\n")
+           cells)
+    in
+    (match output with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if json then print_string jsonl
+    else begin
+      Format.printf "%-14s %-9s %-10s %-14s %-8s %-11s %s@." "TM" "fault"
+        "cm" "commits/exp" "gave-up" "degradation" "stop";
+      List.iter
+        (fun (c : Chaos_run.cell) ->
+          Format.printf "%-14s %-9s %-10s %5d/%-8d %-8d %-11s %s%s@."
+            c.Chaos_run.tm c.Chaos_run.fault c.Chaos_run.cm
+            c.Chaos_run.commits c.Chaos_run.expected c.Chaos_run.gave_up
+            c.Chaos_run.degradation c.Chaos_run.stop
+            (if c.Chaos_run.closure_violations > 0 then
+               Printf.sprintf "  ** %d crash-closure violation(s)"
+                 c.Chaos_run.closure_violations
+             else ""))
+        cells;
+      let wac =
+        List.fold_left
+          (fun acc c -> acc + c.Chaos_run.wac_witnesses)
+          0 cells
+      in
+      Format.printf
+        "@.%d cell(s), %d crash-closure violation(s), %d wac-adaptivity \
+         witness(es)@."
+        (List.length cells) violations wac;
+      if !artifacts <> [] then
+        Format.printf "recorded %d artifact(s) under %s/@."
+          (List.length !artifacts) dump_dir
+    end;
+    (* an unexpected Sat -> Unsat flip under crash truncation is a checker
+       bug by definition — fail the sweep so CI catches it *)
+    if violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos sweep: every selected TM crossed with fault classes \
+          (crash-stop, park/unpark, spurious RMW failure, transaction \
+          poison) and contention-manager policies (immediate, backoff, \
+          polite, karma).  Prints the per-TM robustness matrix — commit \
+          rate, retries, degradation class, crash-closure status — and \
+          exits non-zero on any crash-closure violation.  With \
+          $(b,--record), each cell dumps a replayable trace artifact that \
+          `pcl_tm explain' and `pcl_tm lint' consume.")
+    Term.(
+      const run $ tm_arg $ all_tms $ faults $ cms $ iters $ seed $ json
+      $ output $ record_arg $ dump_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report: run a workload silently, then dump the telemetry sink. *)
@@ -1091,6 +1330,8 @@ let report_cmd =
     Term.(const run $ tm_arg $ workload $ iters $ seed $ json $ output)
 
 let () =
+  (* the chaos library's lint pass rides the pclsan plug-in registry *)
+  Crash_closure.register ();
   let info =
     Cmd.info "pcl_tm" ~version:"1.0"
       ~doc:"The PCL-theorem transactional-memory workbench."
@@ -1100,4 +1341,4 @@ let () =
        (Cmd.group info
           [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
             check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
-            explain_cmd; lint_cmd; report_cmd ]))
+            explain_cmd; lint_cmd; chaos_cmd; report_cmd ]))

@@ -35,6 +35,11 @@ let by_txn t tid =
 
 let by_pid t pid = List.filter (fun e -> e.pid = pid) (entries t)
 
+(** Most recent step taken by process [pid], if any — O(steps since) rather
+    than O(log), thanks to the reversed internal spine.  Used to attribute
+    a budget-exhausted stall to the exact step a process was wedged on. *)
+let last_by_pid t pid = List.find_opt (fun e -> e.pid = pid) t.entries_rev
+
 (** Base objects accessed by transaction [tid], with a flag telling whether
     the transaction applied at least one non-trivial primitive to them. *)
 let objects_of_txn t tid =

@@ -39,6 +39,9 @@ val by_txn : t -> Tid.t -> entry list
 
 val by_pid : t -> int -> entry list
 
+val last_by_pid : t -> int -> entry option
+(** Most recent step taken by a process, if any. *)
+
 val objects_of_txn : t -> Tid.t -> bool Oid.Map.t
 (** Base objects accessed by a transaction, mapped to whether it applied
     at least one non-trivial primitive to them. *)

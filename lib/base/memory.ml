@@ -8,6 +8,12 @@
    status words), which models the objects simply existing in the initial
    configuration. *)
 
+type fault = Spurious_fail
+
+type fault_hook =
+  pid:int -> tid:Tid.t option -> step:int -> Oid.t -> Primitive.t ->
+  fault option
+
 type t = {
   mutable objects : Base_object.t array;
   mutable n_objects : int;
@@ -21,8 +27,15 @@ type t = {
       (** second, independent per-step hook reserved for the flight
           recorder, so step recording composes with the TM telemetry
           hook above instead of replacing it *)
+  mutable fault : fault_hook option;
+      (** consulted before a primitive is applied: the chaos engine's
+          injection point for spurious RMW failures *)
+  doomed : (int, unit) Hashtbl.t;
+      (** pids whose current transaction has been poisoned (force-abort
+          at its next transactional operation) *)
   steps_c : Tm_obs.Metrics.counter;
   prim_c : Tm_obs.Metrics.counter array;  (** indexed by primitive kind *)
+  faults_c : Tm_obs.Metrics.counter;
 }
 
 let create () =
@@ -35,12 +48,15 @@ let create () =
     log = Access_log.create ();
     hook = None;
     flight = None;
+    fault = None;
+    doomed = Hashtbl.create 4;
     steps_c = Tm_obs.Metrics.counter m "mem_steps_total";
     prim_c =
       Array.init Primitive.n_kinds (fun i ->
           Tm_obs.Metrics.counter m
             ~labels:[ ("prim", Primitive.kind_names.(i)) ]
             "mem_prim_total");
+    faults_c = Tm_obs.Metrics.counter m "mem_spurious_faults_total";
   }
 
 let grow t =
@@ -84,9 +100,34 @@ let n_objects t = t.n_objects
 (** One atomic step: apply [prim] to object [oid] on behalf of process
     [pid] (attributed to transaction [tid] if given), log it, and return the
     response. *)
+(* RMW-class primitives that hardware permits to fail spuriously (LL/SC on
+   every real architecture; CAS and test-and-set in the weak models): a
+   failure response with unchanged state is always a legal outcome, so
+   injecting one can never make an execution ill-formed. *)
+let spurious_failure : Primitive.t -> Value.t option = function
+  | Primitive.Cas _ | Primitive.Store_conditional _ | Primitive.Try_lock _ ->
+      Some (Value.bool false)
+  | Primitive.Read | Primitive.Write _ | Primitive.Fetch_add _
+  | Primitive.Unlock _ | Primitive.Load_linked _ ->
+      None
+
 let apply t ~pid ?tid (oid : Oid.t) (prim : Primitive.t) : Value.t =
   if oid < 0 || oid >= t.n_objects then invalid_arg "Memory.apply: bad oid";
-  let response, changed = Base_object.apply t.objects.(oid) prim in
+  let faulted =
+    match t.fault with
+    | None -> None
+    | Some f -> (
+        match f ~pid ~tid ~step:(Access_log.length t.log) oid prim with
+        | Some Spurious_fail -> spurious_failure prim
+        | None -> None)
+  in
+  let response, changed =
+    match faulted with
+    | Some resp ->
+        Tm_obs.Metrics.inc t.faults_c;
+        (resp, false)
+    | None -> Base_object.apply t.objects.(oid) prim
+  in
   let entry =
     Access_log.record t.log ~pid ~tid ~oid ~prim ~response ~changed
   in
@@ -117,6 +158,30 @@ let clear_hook t = t.hook <- None
 let set_flight_hook t f = t.flight <- Some f
 
 let clear_flight_hook t = t.flight <- None
+
+(** Install the fault-injection hook.  It is consulted {e before} each
+    primitive is applied; answering [Spurious_fail] on an RMW-class
+    primitive (CAS / SC / try-lock) makes the step respond failure without
+    touching object state — a legal outcome real hardware permits — while
+    the step is still logged and counted normally, so faulted runs replay
+    bit-identically. *)
+let set_fault_hook t f = t.fault <- Some f
+
+let clear_fault_hook t = t.fault <- None
+
+(** Doomed-transaction poison: mark [pid]'s current transaction for a
+    forced abort at its next transactional operation.  The flag lives here
+    (not in the scheduler) because both the schedule interpreter that sets
+    it and the transactional API layer that consumes it see the memory. *)
+let poison t pid = Hashtbl.replace t.doomed pid ()
+
+(** Consume [pid]'s poison flag; true iff it was set. *)
+let take_poison t pid =
+  if Hashtbl.mem t.doomed pid then begin
+    Hashtbl.remove t.doomed pid;
+    true
+  end
+  else false
 
 let pp_log ppf t =
   let name_of oid = name_of t oid in

@@ -10,6 +10,15 @@
 
 type t
 
+type fault = Spurious_fail
+(** The one fault a memory can inject into a step: an RMW-class primitive
+    (CAS / SC / try-lock) responds failure without touching object state —
+    an outcome real hardware permits at any time. *)
+
+type fault_hook =
+  pid:int -> tid:Tid.t option -> step:int -> Oid.t -> Primitive.t ->
+  fault option
+
 val create : unit -> t
 
 val alloc : t -> name:string -> Value.t -> Oid.t
@@ -50,5 +59,25 @@ val set_flight_hook : t -> (Access_log.entry -> unit) -> unit
     [None] match per step. *)
 
 val clear_flight_hook : t -> unit
+
+val set_fault_hook : t -> fault_hook -> unit
+(** Install the fault-injection hook (replacing any previous one).  It is
+    consulted before each primitive is applied, with the step index the
+    primitive is about to take; answering [Some Spurious_fail] on an
+    RMW-class primitive makes that step respond failure with unchanged
+    state.  The answer is ignored for primitives that cannot fail
+    (reads, writes, fetch-add, unlock, LL).  Faulted steps are logged and
+    counted normally (plus [mem_spurious_faults_total]), so a faulted run
+    replays bit-identically under the same hook. *)
+
+val clear_fault_hook : t -> unit
+
+val poison : t -> int -> unit
+(** Doomed-transaction poison: [pid]'s current transaction is forced to
+    abort at its next transactional operation (consumed by the
+    transactional API layer via {!take_poison}). *)
+
+val take_poison : t -> int -> bool
+(** Consume [pid]'s poison flag; true iff it was set. *)
 
 val pp_log : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(** Contention managers: the abort/retry policy wrapped around
+    {!Tm_impl.Atomically}.  Backoff consumes real simulation steps (reads
+    of a scratch base object), so a manager's waiting is visible on the
+    same step axis as everything else and interacts with the adversary's
+    schedule like any other code. *)
+
+open Tm_base
+open Tm_impl
+
+type decision =
+  | Retry_now
+  | Backoff of int  (** spin for [n] simulation steps before retrying *)
+  | Give_up
+
+type ctx = {
+  attempt : int;  (** 1-based count of aborts endured so far *)
+  karma : int;  (** transactional operations invested across attempts *)
+  rand : Prng.t;  (** deterministic stream for jitter *)
+}
+
+type policy = {
+  name : string;
+  describe : string;
+  max_attempts : int;
+  decide : ctx -> decision;
+}
+
+val immediate : policy
+val backoff : policy
+val polite : policy
+val karma : policy
+
+val all : policy list
+val find : string -> policy option
+val find_exn : string -> policy
+
+type 'a outcome =
+  | Committed of 'a * int  (** the value and the number of aborts endured *)
+  | Gave_up of int  (** aborts endured before the manager stopped retrying *)
+
+val scratch : Memory.t -> Oid.t
+(** The scratch object backoff spins on (allocated once per memory); call
+    from the simulation's setup so it exists in C_0. *)
+
+val atomically :
+  policy ->
+  scratch:Oid.t ->
+  seed:int ->
+  tm:string ->
+  Txn_api.handle ->
+  pid:int ->
+  (Txn_api.txn -> 'a Atomically.outcome) ->
+  'a outcome
+(** Run a transaction body under a policy.  Giving up — the policy's
+    choice or its attempt bound — yields [Gave_up] rather than an
+    exception.  Per-(cm,tm) counters ([cm_retries_total],
+    [cm_backoff_steps_total], [cm_gave_up_total], [cm_commits_total])
+    land in the default metrics sink. *)

@@ -1,0 +1,30 @@
+(* A tiny deterministic PRNG (splitmix64) for everything the chaos engine
+   randomizes: victim selection, backoff jitter, fault placement.  The
+   stdlib [Random.State] would work too, but a self-contained generator
+   with a documented algorithm makes "same seed => same faulted run" an
+   auditable property rather than a stdlib implementation detail. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (seed lxor 0x9E3779B9) }
+
+(* splitmix64: one additive step then two xor-shift-multiply mixes *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** A non-negative int. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+(** Pick an element of a non-empty list. *)
+let pick t xs = List.nth xs (int t (List.length xs))

@@ -1,0 +1,15 @@
+(** Deterministic PRNG (splitmix64) for the chaos engine: victim
+    selection, backoff jitter, fault placement.  Same seed, same
+    stream — the property every faulted run's replayability rests on. *)
+
+type t
+
+val create : int -> t
+val next : t -> int
+(** A non-negative int. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). *)
+
+val pick : t -> 'a list -> 'a
+(** An element of a non-empty list. *)

@@ -109,6 +109,13 @@ module Lint_passes = Tm_analysis.Passes
 module Figure_lint = Tm_analysis.Figure_lint
 module Lints = Tm_analysis.Lints
 
+(* chaos: fault injection, contention management, crash-closure *)
+module Chaos_prng = Tm_chaos.Prng
+module Cm = Tm_chaos.Cm
+module Fault = Tm_chaos.Fault
+module Crash_closure = Tm_chaos.Crash_closure
+module Chaos_run = Tm_chaos.Chaos_run
+
 (* the mechanized proof *)
 module Pcl_txns = Pcl.Txns
 module Pcl_harness = Pcl.Harness

@@ -88,6 +88,10 @@ let segment_label (run : Harness.run) (atom : Tm_runtime.Schedule.atom)
         | None -> "?"
       in
       (pid, Printf.sprintf "[T%d..%s]" pid status)
+  | Tm_runtime.Schedule.Crash pid -> (pid, Printf.sprintf "[X:p%d]" pid)
+  | Tm_runtime.Schedule.Park pid -> (pid, Printf.sprintf "[zz:p%d]" pid)
+  | Tm_runtime.Schedule.Unpark pid -> (pid, Printf.sprintf "[wk:p%d]" pid)
+  | Tm_runtime.Schedule.Poison pid -> (pid, Printf.sprintf "[px:p%d]" pid)
 
 (** Render the schedule of a side as per-process lanes. *)
 let pp_lanes ppf ((side : Claims.side), (atoms : Tm_runtime.Schedule.atom list))

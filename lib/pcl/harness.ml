@@ -52,7 +52,7 @@ let stopped_normally r =
 
 let budget_exhausted_pid r =
   match r.sim.Sim.report.Schedule.stop with
-  | Schedule.Budget_exhausted pid -> Some pid
+  | Schedule.Budget_exhausted { Schedule.stalled_pid; _ } -> Some stalled_pid
   | _ -> None
 
 (** The [n]-th step (1-based) taken by [pid] in the run's log. *)

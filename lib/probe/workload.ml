@@ -115,6 +115,14 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
       Scheduler.spawn sched ~pid (client cfg handle ~pid ~commits ~aborts))
     pids;
   let budget = 200_000 in
+  (* a genuine exception escaping a client is a TM bug: re-raise rather
+     than silently folding it into a budget-exhausted stall (injected
+     crash-stops, by contrast, just leave the process unfinished) *)
+  let check_real_crash pid =
+    match Scheduler.crashed sched pid with
+    | Some e when not (Scheduler.injected e) -> raise e
+    | Some _ | None -> ()
+  in
   let rec round steps =
     if steps > budget then false
     else if List.for_all (fun pid -> Scheduler.finished sched pid) pids then
@@ -122,8 +130,10 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
     else begin
       List.iter
         (fun pid ->
-          if not (Scheduler.finished sched pid) then
-            ignore (Scheduler.step sched pid))
+          if not (Scheduler.finished sched pid) then begin
+            ignore (Scheduler.step sched pid);
+            check_real_crash pid
+          end)
         pids;
       round (steps + cfg.n_procs)
     end

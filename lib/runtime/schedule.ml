@@ -1,32 +1,65 @@
 (* Schedules: the adversary's scripts.  The PCL proof's executions are
    concatenations alpha_1 . alpha_2 . s_1 . alpha_3 ... of solo segments and
-   single steps; an [atom list] expresses exactly those. *)
+   single steps; an [atom list] expresses exactly those.  The chaos engine
+   extends the alphabet with fault atoms — crash-stop, park/unpark
+   (adversarial delay) and doomed-transaction poison — so a faulted run is
+   still one replayable script. *)
+
+open Tm_base
 
 type atom =
   | Steps of int * int  (** [Steps (pid, n)]: at most [n] steps of [pid] *)
   | Until_done of int  (** run [pid] solo until its program finishes *)
+  | Crash of int  (** crash-stop [pid]: it takes no further steps, ever *)
+  | Park of int  (** suspend [pid]: its quanta are skipped until unparked *)
+  | Unpark of int  (** resume a parked [pid] *)
+  | Poison of int
+      (** doom [pid]'s current transaction: force-abort at its next
+          transactional operation *)
 
-type stop = Completed | Budget_exhausted of int | Crashed of int * exn
+type stall = {
+  stalled_pid : int;
+  last : Access_log.entry option;
+      (** the last step the stalled process took, if it took any — the
+          attribution a chaos sweep needs to explain where it wedged *)
+}
+
+type stop =
+  | Completed
+  | Budget_exhausted of stall
+  | Crashed of int * exn  (** a genuine exception escaped a process *)
 
 type report = {
   stop : stop;
   steps_per_atom : int list;  (** steps actually taken by each atom *)
+  crashes : (int * int) list;
+      (** injected crash-stops, as (pid, global step at injection) *)
 }
 
 let pp_atom ppf = function
   | Steps (pid, n) -> Fmt.pf ppf "p%d^%d" pid n
   | Until_done pid -> Fmt.pf ppf "p%d*" pid
+  | Crash pid -> Fmt.pf ppf "p%d!" pid
+  | Park pid -> Fmt.pf ppf "p%d(zzz)" pid
+  | Unpark pid -> Fmt.pf ppf "p%d(wake)" pid
+  | Poison pid -> Fmt.pf ppf "p%d(poison)" pid
 
 let pp ppf atoms = Fmt.(list ~sep:(any " . ") pp_atom) ppf atoms
 
 (* The compact one-token-per-atom format used by `pcl_tm trace` and by
    flight-recorder artifacts: "p1:7,p2:*" means 7 steps of p1 then p2
-   until done.  [of_string] inverts [to_string] exactly, so a dumped
-   schedule replays bit-identically. *)
+   until done; fault atoms are "p1:!" (crash), "p1:z" (park), "p1:w"
+   (unpark) and "p1:~" (poison).  [of_string] inverts [to_string]
+   exactly, so a dumped schedule — faults included — replays
+   bit-identically. *)
 
 let atom_to_string = function
   | Steps (pid, n) -> Printf.sprintf "p%d:%d" pid n
   | Until_done pid -> Printf.sprintf "p%d:*" pid
+  | Crash pid -> Printf.sprintf "p%d:!" pid
+  | Park pid -> Printf.sprintf "p%d:z" pid
+  | Unpark pid -> Printf.sprintf "p%d:w" pid
+  | Poison pid -> Printf.sprintf "p%d:~" pid
 
 let to_string atoms = String.concat "," (List.map atom_to_string atoms)
 
@@ -39,11 +72,20 @@ let of_string s : (atom list, string) result =
         | Some pid -> (
             match spec with
             | "*" -> Ok (Until_done pid)
+            | "!" -> Ok (Crash pid)
+            | "z" -> Ok (Park pid)
+            | "w" -> Ok (Unpark pid)
+            | "~" -> Ok (Poison pid)
             | n -> (
                 match int_of_string_opt n with
                 | Some n -> Ok (Steps (pid, n))
                 | None -> Error (Printf.sprintf "bad step count in %S" tok))))
-    | _ -> Error (Printf.sprintf "bad schedule token %S (want pN:K or pN:*)" tok)
+    | _ ->
+        Error
+          (Printf.sprintf
+             "bad schedule token %S (want pN:K, pN:*, pN:!, pN:z, pN:w or \
+              pN:~)"
+             tok)
   in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
@@ -54,34 +96,79 @@ let of_string s : (atom list, string) result =
   in
   go [] (String.split_on_char ',' s)
 
-(** Execute a schedule on a scheduler.  [budget] bounds each [Until_done]
-    segment (a segment that exhausts it reports [Budget_exhausted pid] and
-    stops the schedule — the liveness-failure signal). *)
 let stop_reason = function
   | Completed -> "completed"
   | Budget_exhausted _ -> "budget-exhausted"
   | Crashed _ -> "crashed"
 
+(** The stop rendered for run metadata and reports: a stall names the
+    process {e and} the last step it took, so a chaos sweep can attribute
+    the wedge ("budget-exhausted:p1@#42"), not just count it. *)
+let stop_to_string = function
+  | Completed -> "completed"
+  | Budget_exhausted { stalled_pid; last = None } ->
+      Printf.sprintf "budget-exhausted:p%d@start" stalled_pid
+  | Budget_exhausted { stalled_pid; last = Some e } ->
+      Printf.sprintf "budget-exhausted:p%d@#%d" stalled_pid
+        e.Access_log.index
+  | Crashed (pid, _) -> Printf.sprintf "crashed:p%d" pid
+
+(** Execute a schedule on a scheduler.  [budget] bounds each [Until_done]
+    segment (a segment that exhausts it reports [Budget_exhausted] with the
+    stalled process and its last step, and stops the schedule — the
+    liveness-failure signal).  Injected crash-stops do {e not} stop the
+    schedule: the surviving processes keep running, which is the whole
+    point of a chaos run; only a genuine exception escaping a process
+    stops it. *)
 let run (sched : Scheduler.t) ?(budget = 100_000) (atoms : atom list) :
     report =
+  let mem = Scheduler.memory sched in
+  let parked : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let crashes = ref [] in
+  let stall pid =
+    { stalled_pid = pid; last = Access_log.last_by_pid (Memory.log mem) pid }
+  in
+  let finish stop acc =
+    { stop; steps_per_atom = List.rev acc; crashes = List.rev !crashes }
+  in
   let rec go acc = function
-    | [] -> { stop = Completed; steps_per_atom = List.rev acc }
+    | [] -> finish Completed acc
+    | Crash pid :: rest ->
+        Tm_obs.Sink.incr "chaos_crash_injected_total";
+        crashes := (pid, Memory.step_count mem) :: !crashes;
+        Scheduler.inject_crash sched pid;
+        go (0 :: acc) rest
+    | Park pid :: rest ->
+        Tm_obs.Sink.incr "chaos_park_total";
+        Hashtbl.replace parked pid ();
+        go (0 :: acc) rest
+    | Unpark pid :: rest ->
+        Hashtbl.remove parked pid;
+        go (0 :: acc) rest
+    | Poison pid :: rest ->
+        Tm_obs.Sink.incr "chaos_poison_injected_total";
+        Memory.poison mem pid;
+        go (0 :: acc) rest
     | Steps (pid, n) :: rest ->
-        let taken = Scheduler.run_steps sched pid n in
-        (match Scheduler.crashed sched pid with
-        | Some e ->
-            { stop = Crashed (pid, e); steps_per_atom = List.rev (taken :: acc) }
-        | None -> go (taken :: acc) rest)
+        if Hashtbl.mem parked pid then go (0 :: acc) rest
+        else
+          let taken = Scheduler.run_steps sched pid n in
+          (match Scheduler.crashed sched pid with
+          | Some e when not (Scheduler.injected e) ->
+              finish (Crashed (pid, e)) (taken :: acc)
+          | Some _ | None -> go (taken :: acc) rest)
     | Until_done pid :: rest -> (
-        match Scheduler.run_solo sched pid ~budget with
-        | Scheduler.Done n -> go (n :: acc) rest
-        | Scheduler.Out_of_budget ->
-            {
-              stop = Budget_exhausted pid;
-              steps_per_atom = List.rev (budget :: acc);
-            }
-        | Scheduler.Crash e ->
-            { stop = Crashed (pid, e); steps_per_atom = List.rev acc })
+        if Hashtbl.mem parked pid then go (0 :: acc) rest
+        else
+          match Scheduler.run_solo sched pid ~budget with
+          | Scheduler.Done n -> go (n :: acc) rest
+          | Scheduler.Out_of_budget ->
+              finish (Budget_exhausted (stall pid)) (budget :: acc)
+          | Scheduler.Crash e when Scheduler.injected e ->
+              (* a previously crash-stopped process will never finish;
+                 skip its solo segment and keep the schedule going *)
+              go (0 :: acc) rest
+          | Scheduler.Crash e -> finish (Crashed (pid, e)) acc)
   in
   let report = go [] atoms in
   Tm_obs.Sink.add "schedule_atoms_total" (List.length atoms);

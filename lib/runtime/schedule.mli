@@ -1,21 +1,43 @@
 (** Schedules: the adversary's scripts.  The PCL proof's executions are
     concatenations alpha1 . alpha2 . s1 . alpha3 ... of solo segments and
-    single steps; an [atom list] expresses exactly those. *)
+    single steps; an [atom list] expresses exactly those.  The chaos
+    engine's fault atoms (crash-stop, park/unpark, poison) extend the
+    alphabet so a faulted run is still one replayable script. *)
+
+open Tm_base
 
 type atom =
   | Steps of int * int  (** [Steps (pid, n)]: at most [n] steps of [pid] *)
   | Until_done of int  (** run [pid] solo until its program finishes *)
+  | Crash of int  (** crash-stop [pid]: it takes no further steps, ever *)
+  | Park of int  (** suspend [pid]: its quanta are skipped until unparked *)
+  | Unpark of int  (** resume a parked [pid] *)
+  | Poison of int
+      (** doom [pid]'s current transaction: force-abort at its next
+          transactional operation *)
+
+type stall = {
+  stalled_pid : int;
+  last : Access_log.entry option;
+      (** the last step the stalled process took, if any — so a stall can
+          be attributed to the exact step it wedged on *)
+}
 
 type stop =
   | Completed
-  | Budget_exhausted of int
+  | Budget_exhausted of stall
       (** an [Until_done pid] segment hit the step budget — the liveness
           failure signal *)
   | Crashed of int * exn
+      (** a genuine exception escaped a process.  Injected crash-stops are
+          reported in {!report.crashes} instead and do not stop the
+          schedule. *)
 
 type report = {
   stop : stop;
   steps_per_atom : int list;  (** steps actually taken by each atom *)
+  crashes : (int * int) list;
+      (** injected crash-stops, as (pid, global step at injection) *)
 }
 
 val pp_atom : Format.formatter -> atom -> unit
@@ -23,12 +45,25 @@ val pp : Format.formatter -> atom list -> unit
 
 val to_string : atom list -> string
 (** The compact "p1:7,p2:*" format used by [pcl_tm trace] and by
-    flight-recorder artifacts. *)
+    flight-recorder artifacts; fault atoms render as "p1:!" (crash),
+    "p1:z" (park), "p1:w" (unpark), "p1:~" (poison). *)
 
 val of_string : string -> (atom list, string) result
 (** Inverse of {!to_string} (also accepts surrounding whitespace per
-    token), so a dumped schedule replays bit-identically. *)
+    token), so a dumped schedule — faults included — replays
+    bit-identically. *)
+
+val stop_reason : stop -> string
+(** Coarse label ("completed" / "budget-exhausted" / "crashed"). *)
+
+val stop_to_string : stop -> string
+(** The stop rendered for run metadata: stalls carry the process and the
+    index of its last step ("budget-exhausted:p1@#42", or "@start" if it
+    never stepped). *)
 
 val run : Scheduler.t -> ?budget:int -> atom list -> report
 (** Execute a schedule.  [budget] (default 100_000) bounds each
-    [Until_done] segment. *)
+    [Until_done] segment.  Parked processes have their quanta skipped;
+    injected crash-stops are recorded in [crashes] and the schedule keeps
+    running the survivors; a genuine exception stops it with
+    {!stop.Crashed}. *)

@@ -8,6 +8,15 @@
 
 open Tm_base
 
+exception Injected_crash of { pid : int; step : int }
+(** The tag distinguishing a chaos-engine crash-stop from a genuine OCaml
+    exception escaping a process.  Consumers of {!crashed} must treat the
+    two differently: an injected crash is scripted adversity the rest of
+    the system should survive, a real exception is a TM bug that must
+    never be masked by a chaos run. *)
+
+let injected = function Injected_crash _ -> true | _ -> false
+
 type status =
   | Not_started of (unit -> unit)
   | Pending of Proc.request * (Value.t, unit) Effect.Deep.continuation
@@ -77,6 +86,19 @@ let step t pid : step_result =
       (* the handler has updated the status to Pending/Finished/Failed *)
       Stepped
   | Not_started _ | Stepping -> assert false
+
+(** Crash-stop process [pid] (the asynchronous model's fault: a crashed
+    process is simply never scheduled again).  The pending continuation is
+    dropped — its stack vanishes, exactly crash-stop semantics.  No-op if
+    the process already finished or crashed. *)
+let inject_crash t pid =
+  let c = cell t pid in
+  match c.status with
+  | Finished | Failed _ -> ()
+  | Not_started _ | Pending _ | Stepping ->
+      Tm_obs.Sink.incr "sched_injected_crash_total";
+      c.status <-
+        Failed (Injected_crash { pid; step = Memory.step_count t.mem })
 
 let finished t pid =
   match (cell t pid).status with Finished -> true | _ -> false

@@ -8,6 +8,15 @@
 
 open Tm_base
 
+exception Injected_crash of { pid : int; step : int }
+(** The tag distinguishing a chaos-engine crash-stop from a genuine OCaml
+    exception escaping a process.  An injected crash is scripted adversity
+    the rest of the system should survive; a real exception is a TM bug a
+    chaos run must never mask. *)
+
+val injected : exn -> bool
+(** True iff the exception is an {!Injected_crash}. *)
+
 type t
 
 val create : Memory.t -> t
@@ -22,6 +31,11 @@ val step : t -> int -> step_result
 (** Advance one process by one atomic step.  Starting a process runs its
     local code up to and including its first primitive.
     @raise Invalid_argument on an unknown pid. *)
+
+val inject_crash : t -> int -> unit
+(** Crash-stop a process: it is never scheduled again and its {!crashed}
+    exception is an {!Injected_crash} carrying the global step count at
+    injection time.  No-op on a finished or already-crashed process. *)
 
 val finished : t -> int -> bool
 val crashed : t -> int -> exn option

@@ -73,11 +73,18 @@ let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list) :
               Flight.set_meta fl "schedule" (Schedule.to_string atoms);
               Flight.set_meta fl "budget" (string_of_int budget);
               Flight.set_meta fl "stop"
-                (match report.Schedule.stop with
-                | Schedule.Completed -> "completed"
-                | Schedule.Budget_exhausted pid ->
-                    Printf.sprintf "budget-exhausted:p%d" pid
-                | Schedule.Crashed (pid, _) -> Printf.sprintf "crashed:p%d" pid);
+                (Schedule.stop_to_string report.Schedule.stop);
+              (* mark injected crash-stops so `explain` can highlight the
+                 crash steps and the crash-closure pass can cut there *)
+              (match report.Schedule.crashes with
+              | [] -> ()
+              | cs ->
+                  Flight.set_meta fl "crashes"
+                    (String.concat ","
+                       (List.map
+                          (fun (pid, step) ->
+                            Printf.sprintf "p%d@%d" pid step)
+                          cs)));
               Flight.set_meta fl "steps" (string_of_int (List.length log))
           | None -> ());
           {

@@ -15,28 +15,36 @@ exception Too_many_retries of { pid : int; attempts : int }
     [Done v] commits and yields [v]. *)
 type 'a outcome = Done of 'a | Retry
 
-(** [run handle ~pid ?max_attempts body] — run [body] until it commits.
-    Every attempt is a fresh transaction with a fresh id (ids must be
-    unique within a history).
-    @raise Too_many_retries after [max_attempts] (default 64) aborts. *)
+(** [run handle ~pid ?max_attempts ?on_abort body] — run [body] until it
+    commits.  Every attempt is a fresh transaction with a fresh id (ids
+    must be unique within a history).  [on_abort ~attempt] is consulted
+    after each abort — a contention manager hooks in here to back off
+    (burning simulation steps) or to give up by returning [false].
+    @raise Too_many_retries after [max_attempts] (default 64) aborts, or
+    as soon as [on_abort] returns [false]. *)
 let run (handle : Txn_api.handle) ~pid ?(max_attempts = 64)
-    (body : Txn_api.txn -> 'a outcome) : 'a =
+    ?(on_abort = fun ~attempt:_ -> true) (body : Txn_api.txn -> 'a outcome) :
+    'a =
+  let give_up n = raise (Too_many_retries { pid; attempts = n }) in
+  let retry n next =
+    if not (on_abort ~attempt:n) then give_up n else next (n + 1)
+  in
   let rec attempt n =
-    if n > max_attempts then raise (Too_many_retries { pid; attempts = n });
+    if n > max_attempts then give_up n;
     let txn =
       handle.Txn_api.begin_txn ~pid ~tid:(handle.Txn_api.fresh_tid ())
     in
     match body txn with
     | exception Stdlib.Exit ->
         (* the body observed an abort response mid-way *)
-        attempt (n + 1)
+        retry n attempt
     | Retry ->
         txn.Txn_api.abort ();
-        attempt (n + 1)
+        retry n attempt
     | Done v -> (
         match txn.Txn_api.try_commit () with
         | Ok () -> v
-        | Error () -> attempt (n + 1))
+        | Error () -> retry n attempt)
   in
   attempt 0
 

@@ -14,8 +14,13 @@ val run :
   Txn_api.handle ->
   pid:int ->
   ?max_attempts:int ->
+  ?on_abort:(attempt:int -> bool) ->
   (Txn_api.txn -> 'a outcome) ->
   'a
+(** [on_abort ~attempt] runs after each abort, before the retry; a
+    contention manager hooks in here to back off (burning simulation
+    steps) or to give up by returning [false] — which raises
+    {!Too_many_retries} just like exceeding [max_attempts]. *)
 
 val read : Txn_api.txn -> Item.t -> Value.t
 val write : Txn_api.txn -> Item.t -> Value.t -> unit

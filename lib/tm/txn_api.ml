@@ -45,7 +45,8 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
   and c_write = c_of "tm_write_total"
   and c_commit = c_of "tm_commit_total"
   and c_abort = c_of "tm_abort_total"
-  and c_retry = c_of "tm_retry_total" in
+  and c_retry = c_of "tm_retry_total"
+  and c_poison = c_of "tm_poison_aborts_total" in
   let c_prim =
     Array.init Primitive.n_kinds (fun i ->
         Tm_obs.Metrics.counter metrics
@@ -70,9 +71,28 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
     Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Begin;
     let ctx = M.begin_txn t ~pid ~tid in
     Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Begin Event.R_ok;
+    (* doomed-transaction poison (chaos engine): a poisoned process's
+       next transactional operation is answered by the TM's own abort
+       routine, so the forced abort is indistinguishable — in the
+       history and in memory — from one the TM chose itself *)
+    let take_poison () =
+      if Memory.take_poison mem pid then begin
+        Tm_obs.Metrics.inc c_poison;
+        M.abort ctx;
+        true
+      end
+      else false
+    in
     let read x =
       Tm_obs.Metrics.inc c_read;
       Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Read x);
+      if take_poison () then begin
+        aborted pid;
+        Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
+          Event.R_aborted;
+        Error ()
+      end
+      else
       match M.read ctx x with
       | Ok v ->
           Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
@@ -87,6 +107,13 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
     let write x v =
       Tm_obs.Metrics.inc c_write;
       Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v));
+      if take_poison () then begin
+        aborted pid;
+        Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
+          Event.R_aborted;
+        Error ()
+      end
+      else
       match M.write ctx x v with
       | Ok () ->
           Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
@@ -100,6 +127,13 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
     in
     let try_commit () =
       Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Try_commit;
+      if take_poison () then begin
+        aborted pid;
+        Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Try_commit
+          Event.R_aborted;
+        Error ()
+      end
+      else
       match M.try_commit ctx with
       | Ok () ->
           Tm_obs.Metrics.inc c_commit;

@@ -306,6 +306,16 @@ let restrict t keep =
   of_list
     (List.filter (fun e -> Tid.Set.mem (Event.tid e) keep) (to_list t))
 
+(** The crash-truncated prefix: events timestamped at or before global
+    step [k].  This is exactly the history a crash at step [k] leaves
+    behind — operations whose response falls after the cut become
+    pending, transactions whose commit response falls after it become
+    commit-pending.  Safety conditions are prefix-closed, so a verdict
+    that flips from Sat to Unsat under truncation exposes either a
+    checker bug or an adaptivity artefact (see the crash-closure lint
+    pass). *)
+let truncate_at t k = of_list (List.filter (fun e -> Event.at e <= k) (to_list t))
+
 let pp ppf t =
   Fmt.pf ppf "%a"
     Fmt.(list ~sep:(any "@\n") Event.pp_compact)

@@ -112,4 +112,10 @@ val restrict : t -> Tid.Set.t -> t
 (** Keep only the events of the given transactions — used to shrink
     checker inputs to the relevant core. *)
 
+val truncate_at : t -> int -> t
+(** [truncate_at t k] — the crash-truncated prefix: events timestamped at
+    or before global step [k], i.e. the history a crash at step [k]
+    leaves behind.  Operations whose response falls after the cut become
+    pending; transactions mid-commit become commit-pending. *)
+
 val pp : Format.formatter -> t -> unit

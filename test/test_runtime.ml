@@ -159,7 +159,9 @@ let sim_tests =
         in
         let r = Sim.replay ~budget:30 spin [ Schedule.Until_done 1 ] in
         check "exhausted by p1" true
-          (r.Sim.report.Schedule.stop = Schedule.Budget_exhausted 1));
+          (match r.Sim.report.Schedule.stop with
+          | Schedule.Budget_exhausted { Schedule.stalled_pid = 1; _ } -> true
+          | _ -> false));
     Alcotest.test_case "solo_length measures a segment" `Quick (fun () ->
         check "5 steps" true
           (Sim.solo_length (counter_setup 5 3) ~prefix:[] 1 = Some 5);

@@ -152,7 +152,8 @@ let tl_tests =
               [ Schedule.Steps (2, k); Schedule.Until_done 1 ]
           in
           match r.Sim.report.Schedule.stop with
-          | Schedule.Budget_exhausted 1 -> blocked := true
+          | Schedule.Budget_exhausted { Schedule.stalled_pid = 1; _ } ->
+              blocked := true
           | _ -> ()
         done;
         check "blocking observed" true !blocked);
@@ -541,7 +542,8 @@ let norec_tests =
               [ Schedule.Steps (2, k); Schedule.Until_done 1 ]
           in
           match r.Sim.report.Schedule.stop with
-          | Schedule.Budget_exhausted 1 -> stalled := true
+          | Schedule.Budget_exhausted { Schedule.stalled_pid = 1; _ } ->
+              stalled := true
           | _ -> ()
         done;
         check "stall observed" true !stalled);
