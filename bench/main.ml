@@ -19,6 +19,7 @@
      flight      flight-recorder overhead on the mixed workload
      lint        per-pass pclsan cost over the recorded workload
      chaos       fault-hook overhead on the raw Memory.apply step path
+     explore     interleaving-sweep throughput, naive DFS vs sleep-set DPOR
      hierarchy   the anomaly x checker separation matrix (T-D)
 *)
 
@@ -76,12 +77,13 @@ let parse_cli () : cli =
   }
 
 (* --json with no explicit sections runs only the machine-readable
-   artifacts (the scaling sweep and the chaos fault-hook overhead);
-   otherwise no sections means all. *)
+   artifacts (the scaling sweep, the chaos fault-hook overhead and the
+   exploration sweep); otherwise no sections means all. *)
 let section_enabled cli name =
   let requested = cli.sections in
   (requested = []
-  && ((not cli.json) || name = "scaling" || name = "chaos"))
+  && ((not cli.json) || name = "scaling" || name = "chaos"
+     || name = "explore"))
   || List.mem name requested
   || (List.mem "figures" requested
      && String.length name = 4
@@ -455,6 +457,65 @@ let chaos_overhead ~iters () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* explore: interleaving-sweep throughput on the incremental engine —
+   the stock writer/reader pair enumerated per TM with the naive DFS and
+   again with sleep-set DPOR.  The search is deterministic, so a single
+   run per mode suffices; the numbers that matter are nodes visited per
+   second (engine throughput) and the reduction ratio (how much of the
+   naive tree DPOR proves redundant while enumerating the same final
+   histories). *)
+
+type explore_row = {
+  etm : string;
+  naive_nodes : int;
+  naive_execs : int;
+  naive_secs : float;
+  naive_truncated : bool;
+  por_nodes : int;
+  por_execs : int;
+  por_secs : float;
+  por_truncated : bool;
+}
+
+let explore_bench () : explore_row list =
+  Format.printf
+    "stock writer/reader sweep per TM, naive DFS vs sleep-set DPOR:@.";
+  Format.printf "%-14s %9s %7s %10s %9s %7s %10s %7s@." "TM" "naive" "execs"
+    "nodes/s" "por" "execs" "nodes/s" "ratio";
+  List.map
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      let timed por =
+        let t0 = Sys.time () in
+        let _rows, st = Explore_sweep.run ~por impl in
+        (st, Sys.time () -. t0)
+      in
+      let n, nt = timed false in
+      let p, pt = timed true in
+      let rate (st : Explorer.stats) t =
+        if t <= 0. then Float.nan else float_of_int st.Explorer.nodes /. t
+      in
+      Format.printf "%-14s %9d %7d %10.0f %9d %7d %10.0f %6.1fx%s@." M.name
+        n.Explorer.nodes n.Explorer.executions (rate n nt) p.Explorer.nodes
+        p.Explorer.executions (rate p pt)
+        (float_of_int n.Explorer.nodes
+        /. float_of_int (max 1 p.Explorer.nodes))
+        (if n.Explorer.truncated || p.Explorer.truncated then "  [truncated]"
+         else "");
+      {
+        etm = M.name;
+        naive_nodes = n.Explorer.nodes;
+        naive_execs = n.Explorer.executions;
+        naive_secs = nt;
+        naive_truncated = n.Explorer.truncated;
+        por_nodes = p.Explorer.nodes;
+        por_execs = p.Explorer.executions;
+        por_secs = pt;
+        por_truncated = p.Explorer.truncated;
+      })
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* T-D: hierarchy matrix *)
 
 let hierarchy () =
@@ -516,7 +577,28 @@ let chaos_row_json (r : chaos_row) : Obs_json.t =
       ("on_ns_per_step", Obs_json.Float r.on_ns);
     ]
 
-let write_summary cli (rows : scaling_row list) (chaos : chaos_row list) =
+let explore_row_json (r : explore_row) : Obs_json.t =
+  let rate nodes secs =
+    if secs <= 0. then 0. else float_of_int nodes /. secs
+  in
+  Obs_json.Obj
+    [
+      ("tm", Obs_json.String r.etm);
+      ("naive_nodes", Obs_json.Int r.naive_nodes);
+      ("naive_executions", Obs_json.Int r.naive_execs);
+      ("naive_nodes_per_sec", Obs_json.Float (rate r.naive_nodes r.naive_secs));
+      ("naive_truncated", Obs_json.Bool r.naive_truncated);
+      ("por_nodes", Obs_json.Int r.por_nodes);
+      ("por_executions", Obs_json.Int r.por_execs);
+      ("por_nodes_per_sec", Obs_json.Float (rate r.por_nodes r.por_secs));
+      ("por_truncated", Obs_json.Bool r.por_truncated);
+      ( "reduction_ratio",
+        Obs_json.Float
+          (float_of_int r.naive_nodes /. float_of_int (max 1 r.por_nodes)) );
+    ]
+
+let write_summary cli (rows : scaling_row list) (chaos : chaos_row list)
+    (explore : explore_row list) =
   let metric_lines =
     List.filter
       (fun j ->
@@ -531,6 +613,7 @@ let write_summary cli (rows : scaling_row list) (chaos : chaos_row list) =
         ("seed", Obs_json.Int cli.seed);
         ("scaling", Obs_json.List (List.map row_json rows));
         ("chaos", Obs_json.List (List.map chaos_row_json chaos));
+        ("explore", Obs_json.List (List.map explore_row_json explore));
         ("metrics", Obs_json.List metric_lines);
       ]
   in
@@ -548,6 +631,7 @@ let () =
   Sink.set_meta Sink.default "seed" (string_of_int cli.seed);
   let scaling_rows = ref [] in
   let chaos_rows = ref [] in
+  let explore_rows = ref [] in
   let sections =
     [
       ("fig1", fun () -> fig12 `Fig1);
@@ -564,6 +648,7 @@ let () =
       ("flight", fun () -> flight_overhead ~iters:cli.iters ~seed:cli.seed ());
       ("lint", fun () -> lint_overhead ~iters:cli.iters ~seed:cli.seed ());
       ("chaos", fun () -> chaos_rows := chaos_overhead ~iters:cli.iters ());
+      ("explore", fun () -> explore_rows := explore_bench ());
       ("hierarchy", hierarchy);
       ("progress", progress);
       ("liveness", liveness);
@@ -576,4 +661,4 @@ let () =
         f ()
       end)
     sections;
-  if cli.json then write_summary cli !scaling_rows !chaos_rows
+  if cli.json then write_summary cli !scaling_rows !chaos_rows !explore_rows

@@ -248,34 +248,33 @@ let lint_flag =
            anomalies) on every execution; findings outside the TM's \
            expected set count as violations (see `pcl_tm lint').")
 
-(** Enumerate all interleavings of a writer/reader pair, classifying each
-    execution by the strongest condition it satisfies.  Shared by
-    [explore] and [report].  With [dump_dir], the first execution
-    satisfying nothing at all is dumped as a trace artifact; with [lint],
-    the pclsan trace passes run on every execution and the number of
-    executions with unexpected findings is returned. *)
-let run_explore ?dump_dir ?(lint = false) impl :
+let por_flag =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "por" ]
+              ~doc:
+                "Sleep-set dynamic partial-order reduction: skip \
+                 interleavings that only reorder independent steps \
+                 (default).  The set of consistency verdicts is \
+                 unchanged; node and execution counts shrink." );
+          ( false,
+            info [ "no-por" ]
+              ~doc:
+                "Disable partial-order reduction and enumerate every \
+                 interleaving naively (the pre-reduction engine's exact \
+                 behaviour)." );
+        ])
+
+(** Sweep the standard writer/reader pair ({!Explore_sweep}) on one TM.
+    With [dump_dir], the first execution satisfying nothing at all is
+    dumped as a trace artifact; with [lint], the pclsan trace passes run
+    on every execution and the number of executions with unexpected
+    findings is returned. *)
+let run_explore ?dump_dir ?(lint = false) ?(por = true) impl :
     (string * int) list * Explorer.stats * string list * int =
-  let x = Item.v "x" and y = Item.v "y" in
-  let specs =
-    [
-      { Static_txn.tid = Tid.v 1; pid = 1; reads = [ x ];
-        writes = [ (x, Value.int 1); (y, Value.int 1) ] };
-      { Static_txn.tid = Tid.v 2; pid = 2; reads = [ x; y ];
-        writes = [] };
-    ]
-  in
-  let outcomes = Hashtbl.create 4 in
-  let setup mem recorder =
-    let handle =
-      Txn_api.instantiate impl mem recorder
-        ~items:(Static_txn.items_of specs)
-    in
-    List.map
-      (fun s -> (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
-      specs
-  in
-  let profiles = Hashtbl.create 8 in
   let dumped = ref [] in
   let dump_violation (r : Sim.result) =
     match (dump_dir, Flight.default ()) with
@@ -299,44 +298,35 @@ let run_explore ?dump_dir ?(lint = false) impl :
     | _ -> ()
   in
   let lint_unexpected = ref 0 in
-  let explore () =
-    Explorer.explore ~max_nodes:300_000 ~max_steps:80 setup ~pids:[ 1; 2 ]
-      ~on_execution:(fun r ->
-        let strongest =
-          match Checkers.satisfied r.Sim.history with
-          | s :: _ -> s
-          | [] -> "none"
-        in
-        if strongest = "none" then dump_violation r;
-        if lint then begin
-          let input =
-            {
-              Lint.log = r.Sim.log;
-              history = r.Sim.history;
-              name_of = Memory.name_of r.Sim.mem;
-              data_sets = Some (Static_txn.data_sets specs);
-              tm = Some (Registry.name impl);
-              meta = [];
-            }
-          in
-          let res = Lints.run_passes Lint_passes.trace_passes input in
-          if res.Lints.unexpected <> [] then incr lint_unexpected
-        end;
-        Hashtbl.replace profiles strongest
-          (1 + Option.value ~default:0 (Hashtbl.find_opt profiles strongest)))
+  let on_execution ~strongest (r : Sim.result) =
+    if strongest = "none" then dump_violation r;
+    if lint then begin
+      let input =
+        {
+          Lint.log = r.Sim.log;
+          history = r.Sim.history;
+          name_of = Memory.name_of r.Sim.mem;
+          data_sets = Some Explore_sweep.data_sets;
+          tm = Some (Registry.name impl);
+          meta = [];
+        }
+      in
+      let res = Lints.run_passes Lint_passes.trace_passes input in
+      if res.Lints.unexpected <> [] then incr lint_unexpected
+    end
   in
-  let stats =
+  let sweep () = Explore_sweep.run ~por ~on_execution impl in
+  let profiles, stats =
     match dump_dir with
     | Some dir ->
         ensure_dir dir;
-        Flight.with_recorder (Flight.create ()) explore
-    | None -> explore ()
+        Flight.with_recorder (Flight.create ()) sweep
+    | None -> sweep ()
   in
-  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) profiles [] in
-  (List.sort compare rows, stats, !dumped, !lint_unexpected)
+  (profiles, stats, !dumped, !lint_unexpected)
 
 let explore_cmd =
-  let run tm record dump_dir lint =
+  let run tm record dump_dir lint por =
     let violations = ref 0 in
     List.iter
       (fun impl ->
@@ -344,12 +334,16 @@ let explore_cmd =
         let profiles, stats, dumped, lint_unexpected =
           run_explore
             ?dump_dir:(if record then Some dump_dir else None)
-            ~lint impl
+            ~lint ~por impl
         in
         Format.printf
-          "%s: %d complete interleavings (%d nodes%s), strongest condition \
-           satisfied:@."
+          "%s: %d complete interleavings (%d nodes%s%s), strongest \
+           condition satisfied:@."
           M.name stats.Explorer.executions stats.Explorer.nodes
+          (if por then
+             Printf.sprintf ", %d sleep-set prunes, %d replays"
+               stats.Explorer.sleep_pruned stats.Explorer.replays
+           else "")
           (if stats.Explorer.truncated then ", truncated" else "");
         List.iter
           (fun (name, n) ->
@@ -375,12 +369,16 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:
-         "Enumerate all interleavings of a writer/reader pair and classify \
-          each execution by the strongest condition it satisfies.  Exits \
+         "Enumerate the interleavings of a writer/reader pair and classify \
+          each execution by the strongest condition it satisfies.  \
+          Sleep-set partial-order reduction prunes interleavings that only \
+          reorder independent steps ($(b,--no-por) enumerates all of them \
+          naively; the verdict set is identical either way).  Exits \
           non-zero if some execution satisfies nothing; with $(b,--record) \
           the first such execution is dumped as a replayable trace; with \
           $(b,--lint) the pclsan trace passes run on every execution.")
-    Term.(const run $ tm_arg $ record_arg $ dump_dir_arg $ lint_flag)
+    Term.(
+      const run $ tm_arg $ record_arg $ dump_dir_arg $ lint_flag $ por_flag)
 
 let trace_cmd =
   let schedule_arg =

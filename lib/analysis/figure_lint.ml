@@ -26,7 +26,8 @@ type observation = {
   stall : string list;
 }
 
-let fired_passes (cfg : config) (impl : Tm_intf.impl) atoms : string list =
+let fired_passes ?(passes = Passes.trace_passes) (cfg : config)
+    (impl : Tm_intf.impl) atoms : string list =
   let module M = (val impl : Tm_intf.S) in
   let _run, fl = Figures.record_run impl atoms in
   let i =
@@ -38,7 +39,7 @@ let fired_passes (cfg : config) (impl : Tm_intf.impl) atoms : string list =
   in
   List.filter_map
     (fun (p : pass) -> if p.run cfg i <> [] then Some p.name else None)
-    Passes.trace_passes
+    passes
 
 (* The stall probe: pause the writer T1 after its k-th step and let the
    reader T3 run solo for three horizons.  A blocking TM leaves T3
@@ -51,14 +52,19 @@ let max_pause_depth = 40
 
 let stall_probe (cfg : config) (impl : Tm_intf.impl) : string list =
   let solo = 3 * cfg.horizon in
+  let of_stall =
+    List.filter (fun (p : pass) -> p.name = "of-stall") Passes.trace_passes
+  in
+  (* scan with just the of-stall pass (the only one that decides whether
+     to keep scanning), then run the full pass set once at the stalling
+     depth — same result, a fraction of the lint work per probe *)
   let rec scan k =
     if k > max_pause_depth then []
     else
-      let fired =
-        fired_passes cfg impl
-          [ Schedule.Steps (1, k); Schedule.Steps (3, solo) ]
-      in
-      if List.mem "of-stall" fired then fired else scan (k + 1)
+      let atoms = [ Schedule.Steps (1, k); Schedule.Steps (3, solo) ] in
+      if fired_passes ~passes:of_stall cfg impl atoms <> [] then
+        fired_passes cfg impl atoms
+      else scan (k + 1)
   in
   scan 1
 

@@ -35,6 +35,15 @@ let trivial = function
 
 let non_trivial p = not (trivial p)
 
+(** [commute p q] — do [p] and [q] commute when applied to the {e same}
+    base object?  Two trivial primitives always do: a [Read] leaves the
+    object untouched, and although [Load_linked pid] records a
+    reservation, reservation recording is a set insertion (commutative)
+    and never affects any response.  Everything else is conservatively
+    ordered: even a failing CAS is non-trivial by kind, because whether
+    it fails can depend on what ran before it. *)
+let commute p q = trivial p && trivial q
+
 (* stable kind indexing, used by the telemetry counters to aggregate
    per-primitive-kind without allocating label lists on the hot path *)
 

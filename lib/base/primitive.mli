@@ -35,6 +35,13 @@ val trivial : t -> bool
 
 val non_trivial : t -> bool
 
+val commute : t -> t -> bool
+(** [commute p q] — do [p] and [q] commute when applied to the {e same}
+    base object?  Holds iff both are trivial ([Load_linked]'s reservation
+    recording is a commutative set insertion that never affects a
+    response).  Primitives on {e distinct} objects always commute; this
+    predicate only refines the same-object case. *)
+
 val n_kinds : int
 (** Number of primitive kinds (constructors). *)
 

@@ -100,6 +100,7 @@ module Linearizability = Tm_universal.Linearizability
 module Liveness_class = Tm_probe.Liveness_class
 module Workload = Tm_probe.Workload
 module Progress = Tm_probe.Progress
+module Explore_sweep = Tm_probe.Explore_sweep
 
 (* pclsan: the happens-before engine and lint passes *)
 module Vclock = Tm_analysis.Vclock

@@ -94,44 +94,42 @@ let client cfg (handle : Txn_api.handle) ~pid ~commits ~aborts () =
   done
 
 (** Run the workload under a fair round-robin schedule (one step per
-    process per turn) and collect the statistics. *)
+    process per turn) and collect the statistics.  Driven through the
+    incremental engine: one live {!Sim.cursor} advanced a step at a time
+    (the cursor wires in the flight recorder, exactly as a scripted
+    replay does). *)
 let run (impl : Tm_intf.impl) (cfg : config) : stats =
   let (module M : Tm_intf.S) = impl in
   let tm_l = [ ("tm", M.name) ] in
   Tm_obs.Sink.span ~labels:tm_l "workload.run" (fun () ->
-  let mem = Memory.create () in
-  (match Flight.default () with
-  | Some fl ->
-      Flight.reset fl;
-      Memory.set_flight_hook mem (Flight.record fl)
-  | None -> ());
-  let recorder = Recorder.create () in
-  let handle = Txn_api.instantiate impl mem recorder ~items:(items_for cfg) in
-  let sched = Scheduler.create mem in
   let commits = ref 0 and aborts = ref 0 in
   let pids = List.init cfg.n_procs (fun p -> p + 1) in
-  List.iter
-    (fun pid ->
-      Scheduler.spawn sched ~pid (client cfg handle ~pid ~commits ~aborts))
-    pids;
+  let setup mem recorder =
+    let handle =
+      Txn_api.instantiate impl mem recorder ~items:(items_for cfg)
+    in
+    List.map
+      (fun pid -> (pid, client cfg handle ~pid ~commits ~aborts))
+      pids
+  in
   let budget = 200_000 in
+  let c = Sim.start ~budget setup in
   (* a genuine exception escaping a client is a TM bug: re-raise rather
      than silently folding it into a budget-exhausted stall (injected
      crash-stops, by contrast, just leave the process unfinished) *)
   let check_real_crash pid =
-    match Scheduler.crashed sched pid with
+    match Sim.crashed c pid with
     | Some e when not (Scheduler.injected e) -> raise e
     | Some _ | None -> ()
   in
   let rec round steps =
     if steps > budget then false
-    else if List.for_all (fun pid -> Scheduler.finished sched pid) pids then
-      true
+    else if List.for_all (fun pid -> Sim.finished c pid) pids then true
     else begin
       List.iter
         (fun pid ->
-          if not (Scheduler.finished sched pid) then begin
-            ignore (Scheduler.step sched pid);
+          if not (Sim.finished c pid) then begin
+            ignore (Sim.step c pid);
             check_real_crash pid
           end)
         pids;
@@ -139,14 +137,17 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
     end
   in
   let completed = round 0 in
-  let log = Access_log.entries (Memory.log mem) in
+  (* snapshot without the scripted-schedule flight context — the scaling
+     workload writes its own run metadata below *)
+  let r = Sim.snapshot ~flight:false c in
+  let log = r.Sim.log in
   (* fill in the run context so an installed recorder's artifact is
      replayable/lintable, as Sim.replay does for scripted schedules *)
   (match Flight.default () with
   | Some fl ->
       Flight.set_names fl
-        (Array.init (Memory.n_objects mem) (Memory.name_of mem));
-      Flight.set_history fl (Recorder.history recorder);
+        (Array.init (Memory.n_objects r.Sim.mem) (Memory.name_of r.Sim.mem));
+      Flight.set_history fl r.Sim.history;
       Flight.set_meta fl "tm" M.name;
       Flight.set_meta fl "workload" "scaling";
       Flight.set_meta fl "seed" (string_of_int cfg.seed);
@@ -157,7 +158,7 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
   let contentions = Contention.all_contentions log in
   (* data sets for DAP classification: collect per-txn items from the
      history *)
-  let h = Recorder.history recorder in
+  let h = r.Sim.history in
   let data_sets =
     List.map
       (fun tid ->

@@ -1,80 +1,186 @@
 (* Bounded exhaustive exploration of interleavings — a small stateless
-   model checker.  Because executions are replayed from C_0, backtracking
-   needs no continuation snapshots: a node of the search tree is just the
-   sequence of pids stepped so far.
+   model checker on the incremental engine.
+
+   A search-tree node is a {!Sim.cursor}: descending into the first child
+   advances the node's own live world by one step (constant work), and
+   each later sibling starts from an O(1) fork of the node that pays a
+   single prefix replay when first advanced.  The old engine replayed the
+   whole prefix at every node *and* at every candidate probe — O(depth^2)
+   simulation steps per path; the cursor engine makes a leftmost descent
+   linear and spends exactly one replay per backtrack point.
+
+   With [~por:true] the search adds sleep-set dynamic partial-order
+   reduction (Godefroid).  Two enabled steps are independent iff they
+   touch different base objects or their primitives commute on the same
+   object (both trivial — see [Primitive.commute]); the next access of
+   every started process is already parked in its scheduler cell, so the
+   check costs nothing ([Sim.pending]).  A process whose next access is
+   unknown (never stepped: its prelude has not run to a primitive) is
+   conservatively dependent with everything.  Sleep sets preserve at
+   least one linearization of every Mazurkiewicz trace, so every
+   reachable final history is still enumerated — only redundant
+   reorderings of commuting steps are skipped.
 
    Used by the test suite to verify properties over *all* executions of
    short workloads (e.g. "every interleaving of these two transactions on
-   TL is strictly serializable", "the candidate TM has an interleaving that
-   violates snapshot isolation"). *)
+   TL is strictly serializable", "the candidate TM has an interleaving
+   that violates snapshot isolation"). *)
+
+open Tm_base
 
 type stats = {
   mutable executions : int;  (** complete executions enumerated *)
-  mutable nodes : int;  (** search-tree nodes (replays) *)
+  mutable nodes : int;  (** search-tree nodes visited *)
   mutable truncated : bool;  (** hit a bound before finishing *)
+  mutable sleep_pruned : int;
+      (** candidate steps skipped by sleep-set reduction *)
+  mutable replays : int;
+      (** prefix re-executions paid for backtracking (fork
+          materializations beyond the live search frontier) *)
+  mutable stopped_early : bool;
+      (** the [on_execution] callback cut the search short *)
 }
 
-let explore ?(max_steps = 200) ?(max_executions = 100_000)
-    ?(max_nodes = 1_000_000) (setup : Sim.setup) ~(pids : int list)
-    ~(on_execution : Sim.result -> unit) : stats =
-  let stats = { executions = 0; nodes = 0; truncated = false } in
-  (* replay a path given as a reversed pid list *)
-  let replay_path path_rev =
-    let atoms = List.rev_map (fun pid -> Schedule.Steps (pid, 1)) path_rev in
-    Sim.replay setup atoms
+exception Stop_exploration
+
+(* independence of p's step (request [rp], captured before stepping) with
+   the *next* step of a sleeping process [q]: distinct objects always
+   commute, same-object accesses iff both primitives are trivial.
+   Unknown accesses are conservatively dependent. *)
+let dependent c (rp : Proc.request option) q =
+  match (rp, Sim.pending c q) with
+  | Some a, Some b ->
+      Oid.equal a.Proc.oid b.Proc.oid
+      && not (Primitive.commute a.Proc.prim b.Proc.prim)
+  | _ -> true
+
+let explore_until ?(max_steps = 200) ?(max_executions = 100_000)
+    ?(max_nodes = 1_000_000) ?(por = false) (setup : Sim.setup)
+    ~(pids : int list)
+    ~(on_execution : Sim.result -> [ `Continue | `Stop ]) : stats =
+  let stats =
+    {
+      executions = 0;
+      nodes = 0;
+      truncated = false;
+      sleep_pruned = 0;
+      replays = 0;
+      stopped_early = false;
+    }
   in
-  let rec dfs path_rev depth =
+  (* [c] is the live world at this node; [sleep] the pids whose next step
+     was already explored from an equivalent node (por mode only) *)
+  let rec dfs c depth sleep =
     if stats.nodes >= max_nodes || stats.executions >= max_executions then
       stats.truncated <- true
     else begin
       stats.nodes <- stats.nodes + 1;
-      let r = replay_path path_rev in
-      let unfinished = List.filter (fun pid -> not (r.Sim.finished pid)) pids in
+      let unfinished =
+        List.filter (fun pid -> not (Sim.finished c pid)) pids
+      in
       if unfinished = [] then begin
         stats.executions <- stats.executions + 1;
-        on_execution r
+        match on_execution (Sim.snapshot c) with
+        | `Continue -> ()
+        | `Stop ->
+            stats.stopped_early <- true;
+            raise_notrace Stop_exploration
       end
       else if depth >= max_steps then stats.truncated <- true
-      else
-        List.iter
-          (fun pid ->
-            (* skip pids that take no step (finished mid-atom) to avoid
-               duplicate executions *)
-            let r' = replay_path (pid :: path_rev) in
-            let progressed =
-              List.length r'.Sim.log > List.length r.Sim.log
-              || r'.Sim.finished pid <> r.Sim.finished pid
-            in
-            if progressed then dfs (pid :: path_rev) (depth + 1))
-          unfinished
+      else begin
+        let candidates =
+          if por then List.filter (fun p -> not (List.mem p sleep)) unfinished
+          else unfinished
+        in
+        if por then
+          stats.sleep_pruned <-
+            stats.sleep_pruned
+            + (List.length unfinished - List.length candidates);
+        (* checkpoint this node before its live world is consumed by the
+           first descending child *)
+        let base = Sim.fork c in
+        let avail = ref (Some c) in
+        let take () =
+          match !avail with
+          | Some c0 ->
+              avail := None;
+              c0
+          | None ->
+              stats.replays <- stats.replays + 1;
+              Sim.fork base
+        in
+        let rec siblings sleep_now = function
+          | [] -> ()
+          | p :: rest ->
+              let child = take () in
+              let rp = Sim.pending child p in
+              if Sim.step child p then begin
+                let child_sleep =
+                  if por then
+                    List.filter (fun q -> not (dependent child rp q)) sleep_now
+                  else []
+                in
+                dfs child (depth + 1) child_sleep;
+                siblings (if por then p :: sleep_now else sleep_now) rest
+              end
+              else begin
+                (* no step taken: the world is unchanged, so this cursor
+                   still represents the node — reuse it *)
+                avail := Some child;
+                siblings sleep_now rest
+              end
+        in
+        siblings sleep candidates
+      end
     end
   in
-  Tm_obs.Sink.span "explorer.explore" (fun () -> dfs [] 0);
+  Tm_obs.Sink.span "explorer.explore" (fun () ->
+      let root = Sim.start setup in
+      try dfs root 0 [] with Stop_exploration -> ());
   Tm_obs.Sink.add "explorer_nodes_total" stats.nodes;
   Tm_obs.Sink.add "explorer_executions_total" stats.executions;
+  Tm_obs.Sink.add "explorer_sleep_pruned_total" stats.sleep_pruned;
+  Tm_obs.Sink.add "explorer_replays_total" stats.replays;
+  if stats.stopped_early then Tm_obs.Sink.incr "explorer_early_stop_total";
   if stats.truncated then Tm_obs.Sink.incr "explorer_truncated_total";
   stats
 
+let explore ?max_steps ?max_executions ?max_nodes ?por (setup : Sim.setup)
+    ~(pids : int list) ~(on_execution : Sim.result -> unit) : stats =
+  explore_until ?max_steps ?max_executions ?max_nodes ?por setup ~pids
+    ~on_execution:(fun r ->
+      on_execution r;
+      `Continue)
+
 (** [for_all setup ~pids prop] — does [prop] hold of every complete bounded
-    execution?  Returns the first counterexample if not. *)
-let for_all ?max_steps ?max_executions ?max_nodes setup ~pids
+    execution?  Returns the first counterexample if not; the search stops
+    at it (counted in [stats.stopped_early]). *)
+let for_all ?max_steps ?max_executions ?max_nodes ?por setup ~pids
     (prop : Sim.result -> bool) : (stats, Sim.result) result =
   let counter = ref None in
   let stats =
-    explore ?max_steps ?max_executions ?max_nodes setup ~pids
+    explore_until ?max_steps ?max_executions ?max_nodes ?por setup ~pids
       ~on_execution:(fun r ->
-        if !counter = None && not (prop r) then counter := Some r)
+        if prop r then `Continue
+        else begin
+          counter := Some r;
+          `Stop
+        end)
   in
   match !counter with None -> Ok stats | Some r -> Error r
 
 (** [exists setup ~pids prop] — is there a bounded execution satisfying
-    [prop]? *)
-let exists ?max_steps ?max_executions ?max_nodes setup ~pids
+    [prop]?  The search stops at the first witness. *)
+let exists ?max_steps ?max_executions ?max_nodes ?por setup ~pids
     (prop : Sim.result -> bool) : Sim.result option =
   let witness = ref None in
   let (_ : stats) =
-    explore ?max_steps ?max_executions ?max_nodes setup ~pids
+    explore_until ?max_steps ?max_executions ?max_nodes ?por setup ~pids
       ~on_execution:(fun r ->
-        if !witness = None && prop r then witness := Some r)
+        if prop r then begin
+          witness := Some r;
+          `Stop
+        end
+        else `Continue)
   in
   !witness

@@ -1,6 +1,16 @@
 (** Bounded exhaustive exploration of interleavings — a small stateless
-    model checker.  Because executions replay from C0, backtracking needs
-    no snapshots: a search node is the sequence of pids stepped so far.
+    model checker on the incremental engine.
+
+    A search node is a {!Sim.cursor}: the first child advances the node's
+    live world in place (constant work); each later sibling starts from
+    an O(1) fork that pays one prefix replay when first advanced.  With
+    [~por:true], sleep-set dynamic partial-order reduction skips
+    interleavings that only reorder independent steps — two enabled steps
+    are independent iff they touch different base objects or both
+    primitives are trivial ([Primitive.commute]); every reachable final
+    history is still enumerated (see docs/EXPLORATION.md for the
+    soundness argument).  [por] defaults to off, which enumerates exactly
+    the naive DFS's executions in the same order.
 
     Used to verify properties over {e all} executions of short workloads
     ("every interleaving of these transactions on TL is strictly
@@ -9,37 +19,60 @@
 
 type stats = {
   mutable executions : int;  (** complete executions enumerated *)
-  mutable nodes : int;  (** search-tree nodes (replays) *)
+  mutable nodes : int;  (** search-tree nodes visited *)
   mutable truncated : bool;  (** a bound was hit before finishing *)
+  mutable sleep_pruned : int;
+      (** candidate steps skipped by sleep-set reduction *)
+  mutable replays : int;
+      (** prefix re-executions paid for backtracking (fork
+          materializations beyond the live search frontier) *)
+  mutable stopped_early : bool;
+      (** the [on_execution] callback cut the search short *)
 }
 
 val explore :
   ?max_steps:int ->
   ?max_executions:int ->
   ?max_nodes:int ->
+  ?por:bool ->
   Sim.setup ->
   pids:int list ->
   on_execution:(Sim.result -> unit) ->
   stats
 
+val explore_until :
+  ?max_steps:int ->
+  ?max_executions:int ->
+  ?max_nodes:int ->
+  ?por:bool ->
+  Sim.setup ->
+  pids:int list ->
+  on_execution:(Sim.result -> [ `Continue | `Stop ]) ->
+  stats
+(** Like {!explore}, but the callback can cut the search short
+    ([stats.stopped_early] records that it did) — what {!for_all} and
+    {!exists} use to stop at the first counterexample/witness. *)
+
 val for_all :
   ?max_steps:int ->
   ?max_executions:int ->
   ?max_nodes:int ->
+  ?por:bool ->
   Sim.setup ->
   pids:int list ->
   (Sim.result -> bool) ->
   (stats, Sim.result) result
 (** Does the property hold of every complete bounded execution?  Returns
-    the first counterexample otherwise. *)
+    the first counterexample otherwise; the search stops at it. *)
 
 val exists :
   ?max_steps:int ->
   ?max_executions:int ->
   ?max_nodes:int ->
+  ?por:bool ->
   Sim.setup ->
   pids:int list ->
   (Sim.result -> bool) ->
   Sim.result option
 (** A witness execution satisfying the property, if the bounded search
-    finds one. *)
+    finds one; the search stops at the first witness. *)

@@ -113,64 +113,128 @@ let stop_to_string = function
         e.Access_log.index
   | Crashed (pid, _) -> Printf.sprintf "crashed:p%d" pid
 
+(* -- resumable sessions ------------------------------------------------ *)
+
+(* A session is a schedule interpretation in progress: the park table,
+   injected-crash list and per-atom step counts live here instead of in a
+   recursion over a complete atom list, so atoms can be fed one at a time
+   — the incremental engine [Sim]'s cursors are built on — and a schedule
+   never re-executes its prefix to take one more step. *)
+
+type session = {
+  sched : Scheduler.t;
+  budget : int;  (* bounds each [Until_done] segment *)
+  parked : (int, unit) Hashtbl.t;
+  mutable crashes_rev : (int * int) list;
+  mutable steps_rev : int list;  (* per executed atom, newest first *)
+  mutable stopped : stop option;  (* [Some _] once the schedule halted *)
+}
+
+let session ?(budget = 100_000) sched =
+  {
+    sched;
+    budget;
+    parked = Hashtbl.create 4;
+    crashes_rev = [];
+    steps_rev = [];
+    stopped = None;
+  }
+
+type feed_outcome = {
+  steps : int;  (** steps the atom actually took *)
+  halted : bool;  (** the session is (now) stopped *)
+}
+
+let session_stopped s = s.stopped <> None
+
+(** Execute one atom.  A no-op once the session has stopped (the atom is
+    neither executed nor counted, exactly as [run] abandons the tail of
+    its atom list).  Injected crash-stops do {e not} stop the session —
+    the survivors keep running, which is the whole point of a chaos run;
+    only a genuine escaping exception or an exhausted [Until_done] budget
+    does. *)
+let feed (s : session) (atom : atom) : feed_outcome =
+  match s.stopped with
+  | Some _ -> { steps = 0; halted = true }
+  | None -> (
+      let mem = Scheduler.memory s.sched in
+      let stall pid =
+        {
+          stalled_pid = pid;
+          last = Access_log.last_by_pid (Memory.log mem) pid;
+        }
+      in
+      let ok n =
+        s.steps_rev <- n :: s.steps_rev;
+        { steps = n; halted = false }
+      in
+      (* a halting atom still records its step count (if any): the steps
+         it took are part of the state it left behind *)
+      let halt stop counted =
+        s.stopped <- Some stop;
+        (match counted with
+        | Some n -> s.steps_rev <- n :: s.steps_rev
+        | None -> ());
+        { steps = Option.value ~default:0 counted; halted = true }
+      in
+      match atom with
+      | Crash pid ->
+          Tm_obs.Sink.incr "chaos_crash_injected_total";
+          s.crashes_rev <- (pid, Memory.step_count mem) :: s.crashes_rev;
+          Scheduler.inject_crash s.sched pid;
+          ok 0
+      | Park pid ->
+          Tm_obs.Sink.incr "chaos_park_total";
+          Hashtbl.replace s.parked pid ();
+          ok 0
+      | Unpark pid ->
+          Hashtbl.remove s.parked pid;
+          ok 0
+      | Poison pid ->
+          Tm_obs.Sink.incr "chaos_poison_injected_total";
+          Memory.poison mem pid;
+          ok 0
+      | Steps (pid, n) ->
+          if Hashtbl.mem s.parked pid then ok 0
+          else
+            let taken = Scheduler.run_steps s.sched pid n in
+            (match Scheduler.crashed s.sched pid with
+            | Some e when not (Scheduler.injected e) ->
+                halt (Crashed (pid, e)) (Some taken)
+            | Some _ | None -> ok taken)
+      | Until_done pid -> (
+          if Hashtbl.mem s.parked pid then ok 0
+          else
+            match Scheduler.run_solo s.sched pid ~budget:s.budget with
+            | Scheduler.Done n -> ok n
+            | Scheduler.Out_of_budget ->
+                halt (Budget_exhausted (stall pid)) (Some s.budget)
+            | Scheduler.Crash e when Scheduler.injected e ->
+                (* a previously crash-stopped process will never finish;
+                   skip its solo segment and keep the schedule going *)
+                ok 0
+            | Scheduler.Crash e -> halt (Crashed (pid, e)) None))
+
+(** The report of everything fed so far ([Completed] while still
+    running).  Cheap and side-effect free: callable mid-session. *)
+let session_report (s : session) : report =
+  {
+    stop = Option.value ~default:Completed s.stopped;
+    steps_per_atom = List.rev s.steps_rev;
+    crashes = List.rev s.crashes_rev;
+  }
+
 (** Execute a schedule on a scheduler.  [budget] bounds each [Until_done]
     segment (a segment that exhausts it reports [Budget_exhausted] with the
     stalled process and its last step, and stops the schedule — the
     liveness-failure signal).  Injected crash-stops do {e not} stop the
-    schedule: the surviving processes keep running, which is the whole
-    point of a chaos run; only a genuine exception escaping a process
-    stops it. *)
+    schedule: the surviving processes keep running; only a genuine
+    exception escaping a process stops it. *)
 let run (sched : Scheduler.t) ?(budget = 100_000) (atoms : atom list) :
     report =
-  let mem = Scheduler.memory sched in
-  let parked : (int, unit) Hashtbl.t = Hashtbl.create 4 in
-  let crashes = ref [] in
-  let stall pid =
-    { stalled_pid = pid; last = Access_log.last_by_pid (Memory.log mem) pid }
-  in
-  let finish stop acc =
-    { stop; steps_per_atom = List.rev acc; crashes = List.rev !crashes }
-  in
-  let rec go acc = function
-    | [] -> finish Completed acc
-    | Crash pid :: rest ->
-        Tm_obs.Sink.incr "chaos_crash_injected_total";
-        crashes := (pid, Memory.step_count mem) :: !crashes;
-        Scheduler.inject_crash sched pid;
-        go (0 :: acc) rest
-    | Park pid :: rest ->
-        Tm_obs.Sink.incr "chaos_park_total";
-        Hashtbl.replace parked pid ();
-        go (0 :: acc) rest
-    | Unpark pid :: rest ->
-        Hashtbl.remove parked pid;
-        go (0 :: acc) rest
-    | Poison pid :: rest ->
-        Tm_obs.Sink.incr "chaos_poison_injected_total";
-        Memory.poison mem pid;
-        go (0 :: acc) rest
-    | Steps (pid, n) :: rest ->
-        if Hashtbl.mem parked pid then go (0 :: acc) rest
-        else
-          let taken = Scheduler.run_steps sched pid n in
-          (match Scheduler.crashed sched pid with
-          | Some e when not (Scheduler.injected e) ->
-              finish (Crashed (pid, e)) (taken :: acc)
-          | Some _ | None -> go (taken :: acc) rest)
-    | Until_done pid :: rest -> (
-        if Hashtbl.mem parked pid then go (0 :: acc) rest
-        else
-          match Scheduler.run_solo sched pid ~budget with
-          | Scheduler.Done n -> go (n :: acc) rest
-          | Scheduler.Out_of_budget ->
-              finish (Budget_exhausted (stall pid)) (budget :: acc)
-          | Scheduler.Crash e when Scheduler.injected e ->
-              (* a previously crash-stopped process will never finish;
-                 skip its solo segment and keep the schedule going *)
-              go (0 :: acc) rest
-          | Scheduler.Crash e -> finish (Crashed (pid, e)) acc)
-  in
-  let report = go [] atoms in
+  let s = session ~budget sched in
+  List.iter (fun a -> ignore (feed s a)) atoms;
+  let report = session_report s in
   Tm_obs.Sink.add "schedule_atoms_total" (List.length atoms);
   Tm_obs.Sink.incr
     ~labels:[ ("reason", stop_reason report.stop) ]

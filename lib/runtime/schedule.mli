@@ -67,3 +67,38 @@ val run : Scheduler.t -> ?budget:int -> atom list -> report
     injected crash-stops are recorded in [crashes] and the schedule keeps
     running the survivors; a genuine exception stops it with
     {!stop.Crashed}. *)
+
+(** {1 Resumable sessions}
+
+    A session is a schedule interpretation in progress: atoms are fed one
+    at a time and the park table / crash list / per-atom step counts
+    accumulate, so taking one more step never re-executes the prefix.
+    {!run} is [session] + {!feed} over a complete atom list; the
+    incremental engine ([Sim]'s cursors, and through it the
+    partial-order-reduced explorer) feeds atoms as the search decides
+    them. *)
+
+type session
+
+val session : ?budget:int -> Scheduler.t -> session
+(** A fresh session over a scheduler whose processes are spawned but not
+    yet stepped.  [budget] (default 100_000) bounds each [Until_done]
+    segment fed later. *)
+
+type feed_outcome = {
+  steps : int;  (** steps the atom actually took *)
+  halted : bool;  (** the session is (now) stopped *)
+}
+
+val feed : session -> atom -> feed_outcome
+(** Execute one atom, exactly as {!run} would in sequence.  A no-op
+    (reporting [halted = true], zero steps, nothing counted) once the
+    session has stopped — matching how {!run} abandons the tail of its
+    atom list. *)
+
+val session_stopped : session -> bool
+
+val session_report : session -> report
+(** The report over everything fed so far — [stop = Completed] while the
+    session is still running.  Cheap and side-effect free, so it can be
+    taken mid-session (the cursor snapshot path does). *)

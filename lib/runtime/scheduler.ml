@@ -103,6 +103,17 @@ let inject_crash t pid =
 let finished t pid =
   match (cell t pid).status with Finished -> true | _ -> false
 
+(** The request process [pid] will issue at its next step, if its local
+    code has already run up to a primitive.  [None] for a process that
+    was never stepped ([Not_started] — its first access is unknown until
+    its prelude runs) and for finished or crashed processes.  The request
+    is stable until [pid] itself is stepped, which is what makes it
+    usable as the conflict oracle of a partial-order-reduced search. *)
+let pending t pid =
+  match (cell t pid).status with
+  | Pending (req, _) -> Some req
+  | Not_started _ | Stepping | Finished | Failed _ -> None
+
 let crashed t pid =
   match (cell t pid).status with Failed e -> Some e | _ -> None
 

@@ -39,6 +39,14 @@ val inject_crash : t -> int -> unit
 
 val finished : t -> int -> bool
 val crashed : t -> int -> exn option
+
+val pending : t -> int -> Proc.request option
+(** The request [pid] will issue at its next step, if its local code has
+    already run up to a primitive.  [None] for a never-stepped process
+    (its first access is unknown until its prelude runs) and for finished
+    or crashed ones.  Stable until [pid] itself is stepped — the conflict
+    oracle a partial-order-reduced search keys on. *)
+
 val runnable : t -> int -> bool
 val pids : t -> int list
 

@@ -1,8 +1,20 @@
-(* Replay-style simulation: every execution is (re)generated from the
-   initial configuration C_0 by a schedule.  This gives the adversary
-   "configurations" for free — the configuration after a prefix is simply
-   the state reached by replaying that prefix — without having to snapshot
-   continuations. *)
+(* The incremental execution engine.
+
+   An execution is identified by its schedule from the initial
+   configuration C_0, and determinism makes the identification exact: the
+   same setup fed the same atoms reaches the same configuration.  A
+   [cursor] exploits this both ways.  Forwards, it holds a *live* world —
+   memory, recorder, scheduler, schedule session — that advances one atom
+   at a time without ever re-executing its prefix.  Backwards, forking a
+   cursor is O(1): the fork shares the executed path and rebuilds a live
+   world lazily, by replaying the path, only if it is ever advanced.  A
+   search-tree node is therefore a cheap resumable state, not a pid path
+   that costs a replay per query (OCaml effects give us one-shot
+   continuations, so the live world itself can never be duplicated —
+   lazy replay is what makes forking sound).
+
+   [replay] — the original API — is now a thin wrapper: start a cursor,
+   feed the whole schedule, snapshot. *)
 
 open Tm_base
 open Tm_trace
@@ -21,80 +33,193 @@ type result = {
   steps_of : int -> int;  (** steps taken by a pid over the whole run *)
 }
 
-let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list) :
-    result =
-  let mem = Memory.create () in
+(* -- cursors ----------------------------------------------------------- *)
+
+type live = {
+  mem : Memory.t;
+  recorder : Recorder.t;
+  sched : Scheduler.t;
+  session : Schedule.session;
+}
+
+type cursor = {
+  setup : setup;
+  budget : int;
+  mutable path_rev : Schedule.atom list;  (* executed atoms, newest first *)
+  mutable live : live option;  (* None: a fork not yet re-materialized *)
+}
+
+(* Build (or rebuild) the live world: fresh memory and recorder, the
+   global flight recorder reset and hooked in (one flight trace = one
+   execution, so a fork's re-materialization re-records its prefix and an
+   explorer callback always sees exactly the execution that just ran),
+   programs spawned, and the executed path fed back through a fresh
+   session.  Determinism makes the result bit-identical to the world the
+   cursor was forked from. *)
+let materialize (c : cursor) : live =
+  match c.live with
+  | Some l -> l
+  | None ->
+      Tm_obs.Sink.incr "sim_cursor_replays_total";
+      let mem = Memory.create () in
+      let recorder = Recorder.create () in
+      (match Flight.default () with
+      | Some fl ->
+          Flight.reset fl;
+          Memory.set_flight_hook mem (Flight.record fl)
+      | None -> ());
+      let programs = c.setup mem recorder in
+      let sched = Scheduler.create mem in
+      List.iter (fun (pid, f) -> Scheduler.spawn sched ~pid f) programs;
+      let session = Schedule.session ~budget:c.budget sched in
+      let l = { mem; recorder; sched; session } in
+      c.live <- Some l;
+      List.iter
+        (fun a -> ignore (Schedule.feed session a))
+        (List.rev c.path_rev);
+      l
+
+let start ?(budget = 100_000) (setup : setup) : cursor =
+  let c = { setup; budget; path_rev = []; live = None } in
+  ignore (materialize c);
+  c
+
+let fork (c : cursor) : cursor = { c with live = None }
+let is_live (c : cursor) : bool = c.live <> None
+let path (c : cursor) : Schedule.atom list = List.rev c.path_rev
+
+let finished (c : cursor) pid = Scheduler.finished (materialize c).sched pid
+let crashed (c : cursor) pid = Scheduler.crashed (materialize c).sched pid
+
+let pending (c : cursor) pid : Proc.request option =
+  Scheduler.pending (materialize c).sched pid
+
+let steps_taken (c : cursor) : int = Memory.step_count (materialize c).mem
+
+(** Feed one schedule atom to the live world.  Executed atoms (and only
+    those — a post-stop no-op is not part of the execution) extend the
+    cursor's path, so a later fork reproduces exactly this state. *)
+let apply (c : cursor) (atom : Schedule.atom) : Schedule.feed_outcome =
+  let l = materialize c in
+  if Schedule.session_stopped l.session then
+    { Schedule.steps = 0; halted = true }
+  else begin
+    let f = Schedule.feed l.session atom in
+    c.path_rev <- atom :: c.path_rev;
+    f
+  end
+
+(** Advance [pid] by one atomic step; true iff the process progressed —
+    it took a memory step, or its (empty-bodied) program finished on
+    being started.  Constant work beyond the step itself: no prefix
+    re-execution, no log-length scan.  False means the world is
+    unchanged: the process had already finished, had crashed, or the
+    session is stopped (a genuinely-crashed execution schedules no
+    further steps, exactly as a replay of its path would refuse to). *)
+let step (c : cursor) pid : bool =
+  let l = materialize c in
+  let was_finished = Scheduler.finished l.sched pid in
+  let f = Schedule.feed l.session (Schedule.Steps (pid, 1)) in
+  let progressed =
+    f.Schedule.steps > 0
+    || ((not was_finished) && Scheduler.finished l.sched pid)
+  in
+  if progressed then
+    c.path_rev <- Schedule.Steps (pid, 1) :: c.path_rev;
+  progressed
+
+(* -- snapshots --------------------------------------------------------- *)
+
+let per_pid_steps log =
+  let per_pid = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let pid = e.Access_log.pid in
+      Hashtbl.replace per_pid pid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_pid pid)))
+    log;
+  per_pid
+
+(** Package the cursor's current state as a {!result}.  With [flight]
+    (the default), the installed flight recorder's run context is filled
+    exactly as {!replay} fills it — names, history, schedule, budget,
+    stop, crashes, steps — so the trace artifact of a schedule the
+    incremental search visited is bit-identical to the artifact a
+    from-scratch replay of that schedule would dump.  [schedule]
+    overrides the schedule rendered into the metadata (a caller that fed
+    a script with an unexecuted tail records the script, as [replay]
+    always did). *)
+let snapshot ?(flight = true) ?schedule (c : cursor) : result =
+  let l = materialize c in
+  let report = Schedule.session_report l.session in
+  let log = Access_log.entries (Memory.log l.mem) in
+  let per_pid = per_pid_steps log in
+  let steps_of pid =
+    Option.value ~default:0 (Hashtbl.find_opt per_pid pid)
+  in
+  (if flight then
+     match Flight.default () with
+     | Some fl ->
+         Flight.set_names fl
+           (Array.init (Memory.n_objects l.mem) (Memory.name_of l.mem));
+         Flight.set_history fl (Recorder.history l.recorder);
+         Flight.set_meta fl "schedule"
+           (Schedule.to_string
+              (match schedule with
+              | Some atoms -> atoms
+              | None -> List.rev c.path_rev));
+         Flight.set_meta fl "budget" (string_of_int c.budget);
+         Flight.set_meta fl "stop"
+           (Schedule.stop_to_string report.Schedule.stop);
+         (* mark injected crash-stops so `explain` can highlight the
+            crash steps and the crash-closure pass can cut there *)
+         (match report.Schedule.crashes with
+         | [] -> ()
+         | cs ->
+             Flight.set_meta fl "crashes"
+               (String.concat ","
+                  (List.map
+                     (fun (pid, step) -> Printf.sprintf "p%d@%d" pid step)
+                     cs)));
+         Flight.set_meta fl "steps" (string_of_int (List.length log))
+     | None -> ());
+  {
+    mem = l.mem;
+    history = Recorder.history l.recorder;
+    log;
+    report;
+    finished = (fun pid -> Scheduler.finished l.sched pid);
+    steps_of;
+  }
+
+(* -- whole-schedule replay --------------------------------------------- *)
+
+let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list)
+    : result =
   Tm_obs.Sink.incr "sim_replay_total";
+  let mem_ref = ref None in
   (* bind the span step clock to this replay's memory so nested spans
      (e.g. checker calls made from a probe) report step durations *)
   Tm_obs.Sink.with_step_source
-    (fun () -> Memory.step_count mem)
+    (fun () ->
+      match !mem_ref with Some m -> Memory.step_count m | None -> 0)
     (fun () ->
       Tm_obs.Sink.span "sim.replay" (fun () ->
-          let recorder = Recorder.create () in
-          (* one flight trace = one execution: reset the installed recorder
-             so an explorer/fuzzer callback always sees exactly the steps
-             of the execution that just ran *)
-          let flight = Flight.default () in
-          (match flight with
-          | Some fl ->
-              Flight.reset fl;
-              Memory.set_flight_hook mem (Flight.record fl)
-          | None -> ());
-          let programs = setup mem recorder in
-          let sched = Scheduler.create mem in
-          List.iter (fun (pid, f) -> Scheduler.spawn sched ~pid f) programs;
-          let report = Schedule.run sched ~budget atoms in
-          let log = Access_log.entries (Memory.log mem) in
+          let c = { setup; budget; path_rev = []; live = None } in
+          let l = materialize c in
+          mem_ref := Some l.mem;
+          List.iter (fun a -> ignore (apply c a)) atoms;
+          let r = snapshot ~schedule:atoms c in
           Tm_obs.Sink.observe "sim_replay_steps"
-            (float_of_int (List.length log));
+            (float_of_int (List.length r.log));
           (* per-pid step attribution, from the authoritative log *)
-          let per_pid = Hashtbl.create 8 in
-          List.iter
-            (fun e ->
-              let pid = e.Access_log.pid in
-              Hashtbl.replace per_pid pid
-                (1 + Option.value ~default:0 (Hashtbl.find_opt per_pid pid)))
-            log;
           Hashtbl.iter
             (fun pid n ->
               Tm_obs.Sink.add
                 ~labels:[ ("pid", string_of_int pid) ]
                 "sched_pid_steps_total" n)
-            per_pid;
-          let steps_of pid =
-            Option.value ~default:0 (Hashtbl.find_opt per_pid pid)
-          in
-          (match flight with
-          | Some fl ->
-              Flight.set_names fl
-                (Array.init (Memory.n_objects mem) (Memory.name_of mem));
-              Flight.set_history fl (Recorder.history recorder);
-              Flight.set_meta fl "schedule" (Schedule.to_string atoms);
-              Flight.set_meta fl "budget" (string_of_int budget);
-              Flight.set_meta fl "stop"
-                (Schedule.stop_to_string report.Schedule.stop);
-              (* mark injected crash-stops so `explain` can highlight the
-                 crash steps and the crash-closure pass can cut there *)
-              (match report.Schedule.crashes with
-              | [] -> ()
-              | cs ->
-                  Flight.set_meta fl "crashes"
-                    (String.concat ","
-                       (List.map
-                          (fun (pid, step) ->
-                            Printf.sprintf "p%d@%d" pid step)
-                          cs)));
-              Flight.set_meta fl "steps" (string_of_int (List.length log))
-          | None -> ());
-          {
-            mem;
-            history = Recorder.history recorder;
-            log;
-            report;
-            finished = (fun pid -> Scheduler.finished sched pid);
-            steps_of;
-          }))
+            (per_pid_steps r.log);
+          r))
 
 (** [solo_length setup pid] — number of steps [pid]'s program needs to run
     solo from C_0 to completion, or [None] if it exceeds the budget. *)

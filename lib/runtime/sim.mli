@@ -1,7 +1,15 @@
-(** Replay-style simulation: every execution is (re)generated from the
-    initial configuration C0 by a schedule, so "the configuration after a
-    prefix" is simply the state reached by replaying that prefix — no
-    continuation snapshots needed. *)
+(** The incremental execution engine.
+
+    Determinism identifies an execution with its schedule from C0, and a
+    {!cursor} exploits the identification both ways: forwards it is a
+    live world (memory, recorder, scheduler, schedule session) advancing
+    one atom at a time with no prefix re-execution; backwards, {!fork}
+    is O(1) — the fork shares the executed path and re-materializes a
+    live world lazily, by replaying that path, only if it is ever
+    advanced.  (OCaml effects give one-shot continuations, so the live
+    world itself can never be duplicated; lazy replay is what makes
+    forking sound.)  {!replay} — the original API — is start + feed the
+    whole schedule + snapshot, unchanged in behavior. *)
 
 open Tm_base
 open Tm_trace
@@ -18,6 +26,68 @@ type result = {
   finished : int -> bool;
   steps_of : int -> int;  (** steps taken by a pid over the whole run *)
 }
+
+(** {1 Cursors} *)
+
+type cursor
+(** A resumable execution state: the configuration reached by the atoms
+    executed so far, advanceable without re-executing them. *)
+
+val start : ?budget:int -> setup -> cursor
+(** A live cursor at C0 — memory and recorder created, the installed
+    flight recorder reset and hooked in, programs spawned, nothing
+    stepped.  [budget] (default 100_000) bounds each [Until_done] atom
+    fed later and is recorded in snapshot metadata. *)
+
+val fork : cursor -> cursor
+(** An O(1) copy at the same configuration.  The fork shares the executed
+    path; a live world is rebuilt (one deterministic replay of the path,
+    counted in the ["sim_cursor_replays_total"] counter) the first time
+    the fork is queried or advanced.  Forking does not disturb the
+    original: both can be advanced independently thereafter. *)
+
+val step : cursor -> int -> bool
+(** [step c pid] advances [pid] by one atomic step; true iff the process
+    progressed — it took a memory step, or its (empty-bodied) program
+    finished on being started.  Constant work beyond the step itself: no
+    prefix re-execution, no log-length scan.  False leaves the world
+    unchanged: the process had already finished, had crashed, or the
+    execution has halted (a genuinely-crashed execution schedules no
+    further steps, exactly as a replay of its path would refuse to). *)
+
+val apply : cursor -> Schedule.atom -> Schedule.feed_outcome
+(** Feed one schedule atom (quanta, solo segments, fault atoms).
+    Executed atoms extend the path a fork replays; post-halt no-ops do
+    not. *)
+
+val finished : cursor -> int -> bool
+val crashed : cursor -> int -> exn option
+
+val pending : cursor -> int -> Proc.request option
+(** The request [pid] will issue at its next step, if its local code has
+    already run up to a primitive ({!Scheduler.pending}) — the conflict
+    oracle the partial-order-reduced explorer keys on. *)
+
+val steps_taken : cursor -> int
+(** Global memory steps executed so far — the constant-time progress
+    clock (what [List.length result.log] cost O(n) to ask). *)
+
+val path : cursor -> Schedule.atom list
+(** The executed atoms, oldest first: a schedule that replays to exactly
+    this configuration. *)
+
+val is_live : cursor -> bool
+(** False for a fork that has not yet re-materialized its world. *)
+
+val snapshot : ?flight:bool -> ?schedule:Schedule.atom list -> cursor -> result
+(** The cursor's current state as a {!result}.  With [flight] (default
+    true) the installed flight recorder's run context is filled exactly
+    as {!replay} fills it, so the artifact of a schedule the incremental
+    search visited is bit-identical to a from-scratch replay's artifact.
+    [schedule] overrides the schedule rendered into the metadata (for
+    scripts with an unexecuted tail). *)
+
+(** {1 Whole-schedule replay} *)
 
 val replay : ?budget:int -> setup -> Schedule.atom list -> result
 
