@@ -20,6 +20,9 @@
      lint        per-pass pclsan cost over the recorded workload
      chaos       fault-hook overhead on the raw Memory.apply step path
      explore     interleaving-sweep throughput, naive DFS vs sleep-set DPOR
+     cost        per-TM synchronization-cost matrix (RMRs, RMW-class
+                 steps, wasted work) over the figure schedules and the
+                 explore sweep
      hierarchy   the anomaly x checker separation matrix (T-D)
 *)
 
@@ -83,7 +86,7 @@ let section_enabled cli name =
   let requested = cli.sections in
   (requested = []
   && ((not cli.json) || name = "scaling" || name = "chaos"
-     || name = "explore"))
+     || name = "explore" || name = "cost"))
   || List.mem name requested
   || (List.mem "figures" requested
      && String.length name = 4
@@ -516,6 +519,24 @@ let explore_bench () : explore_row list =
     Registry.all
 
 (* ------------------------------------------------------------------ *)
+(* cost: the synchronization-cost matrix — deterministic, so the rows
+   land in the summary verbatim and CI can diff them against the
+   committed baseline *)
+
+let cost_bench () : Cost_run.row list =
+  let rows = List.concat_map Cost_run.rows_for Registry.all in
+  Format.printf "%a@." Cost_run.pp_table rows;
+  (match Cost_run.check rows with
+  | [] -> Format.printf "expected-cost check: clean@."
+  | vs ->
+      List.iter
+        (fun (tm, w, fields) ->
+          Format.printf "expected-cost VIOLATION %s/%s: %s@." tm w
+            (String.concat ", " fields))
+        vs);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* T-D: hierarchy matrix *)
 
 let hierarchy () =
@@ -598,7 +619,7 @@ let explore_row_json (r : explore_row) : Obs_json.t =
     ]
 
 let write_summary cli (rows : scaling_row list) (chaos : chaos_row list)
-    (explore : explore_row list) =
+    (explore : explore_row list) (cost : Cost_run.row list) =
   let metric_lines =
     List.filter
       (fun j ->
@@ -608,12 +629,14 @@ let write_summary cli (rows : scaling_row list) (chaos : chaos_row list)
   let doc =
     Obs_json.Obj
       [
+        Schema.field;
         ("tool", Obs_json.String "bench");
         ("iters", Obs_json.Int cli.iters);
         ("seed", Obs_json.Int cli.seed);
         ("scaling", Obs_json.List (List.map row_json rows));
         ("chaos", Obs_json.List (List.map chaos_row_json chaos));
         ("explore", Obs_json.List (List.map explore_row_json explore));
+        ("cost", Obs_json.List (List.map Cost_run.row_json cost));
         ("metrics", Obs_json.List metric_lines);
       ]
   in
@@ -632,6 +655,7 @@ let () =
   let scaling_rows = ref [] in
   let chaos_rows = ref [] in
   let explore_rows = ref [] in
+  let cost_rows = ref [] in
   let sections =
     [
       ("fig1", fun () -> fig12 `Fig1);
@@ -649,6 +673,7 @@ let () =
       ("lint", fun () -> lint_overhead ~iters:cli.iters ~seed:cli.seed ());
       ("chaos", fun () -> chaos_rows := chaos_overhead ~iters:cli.iters ());
       ("explore", fun () -> explore_rows := explore_bench ());
+      ("cost", fun () -> cost_rows := cost_bench ());
       ("hierarchy", hierarchy);
       ("progress", progress);
       ("liveness", liveness);
@@ -661,4 +686,5 @@ let () =
         f ()
       end)
     sections;
-  if cli.json then write_summary cli !scaling_rows !chaos_rows !explore_rows
+  if cli.json then
+    write_summary cli !scaling_rows !chaos_rows !explore_rows !cost_rows

@@ -35,6 +35,32 @@ let width_arg =
     value & opt int 72
     & info [ "width" ] ~docv:"COLS" ~doc:"Timeline band width in columns.")
 
+let watch_arg =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:
+          "Live telemetry: render a one-line progress/metrics snapshot on \
+           stderr every few hundred progress ticks (executions, \
+           iterations, cells), read from the metrics registry.  Never \
+           touches stdout, so $(b,--json) output stays clean.")
+
+(* the metric names a watch line samples, by command *)
+let watch_counters =
+  [
+    ("nodes", "explorer_nodes_total");
+    ("pruned", "explorer_sleep_pruned_total");
+    ("commits", "tm_commit_total");
+    ("aborts", "tm_abort_total");
+    ("rmrs", "cost_rmr_total");
+  ]
+
+let make_watch ~enabled ~label ~every =
+  if enabled then Some (Watch.create ~every ~label watch_counters) else None
+
+let watch_tick = Option.iter Watch.tick
+let watch_finish = Option.iter Watch.finish
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -273,7 +299,8 @@ let por_flag =
     dumped as a trace artifact; with [lint], the pclsan trace passes run
     on every execution and the number of executions with unexpected
     findings is returned. *)
-let run_explore ?dump_dir ?(lint = false) ?(por = true) impl :
+let run_explore ?dump_dir ?(lint = false) ?(por = true)
+    ?(on_progress = fun () -> ()) impl :
     (string * int) list * Explorer.stats * string list * int =
   let dumped = ref [] in
   let dump_violation (r : Sim.result) =
@@ -299,6 +326,7 @@ let run_explore ?dump_dir ?(lint = false) ?(por = true) impl :
   in
   let lint_unexpected = ref 0 in
   let on_execution ~strongest (r : Sim.result) =
+    on_progress ();
     if strongest = "none" then dump_violation r;
     if lint then begin
       let input =
@@ -326,16 +354,24 @@ let run_explore ?dump_dir ?(lint = false) ?(por = true) impl :
   (profiles, stats, !dumped, !lint_unexpected)
 
 let explore_cmd =
-  let run tm record dump_dir lint por =
-    let violations = ref 0 in
+  let run tm record dump_dir lint por watch =
+    let violations = ref 0 and executions = ref 0 in
+    let impls = impls_of tm in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
+        let w =
+          make_watch ~enabled:watch ~label:("explore:" ^ M.name) ~every:200
+        in
         let profiles, stats, dumped, lint_unexpected =
           run_explore
             ?dump_dir:(if record then Some dump_dir else None)
-            ~lint ~por impl
+            ~lint ~por
+            ~on_progress:(fun () -> watch_tick w)
+            impl
         in
+        watch_finish w;
+        executions := !executions + stats.Explorer.executions;
         Format.printf
           "%s: %d complete interleavings (%d nodes%s%s), strongest \
            condition satisfied:@."
@@ -358,12 +394,18 @@ let explore_cmd =
         List.iter
           (fun path -> Format.printf "  violating trace dumped to %s@." path)
           dumped)
-      (impls_of tm);
+      impls;
     if !violations > 0 then begin
       Format.printf
         "%d execution(s) satisfy no consistency condition at all@."
         !violations;
-      exit 1
+      Reason.exit_with
+        (Reason.No_consistency
+           {
+             failing = !violations;
+             executions = !executions;
+             tms = List.map Registry.name impls;
+           })
     end
   in
   Cmd.v
@@ -378,7 +420,8 @@ let explore_cmd =
           the first such execution is dumped as a replayable trace; with \
           $(b,--lint) the pclsan trace passes run on every execution.")
     Term.(
-      const run $ tm_arg $ record_arg $ dump_dir_arg $ lint_flag $ por_flag)
+      const run $ tm_arg $ record_arg $ dump_dir_arg $ lint_flag $ por_flag
+      $ watch_arg)
 
 let trace_cmd =
   let schedule_arg =
@@ -417,7 +460,29 @@ let trace_cmd =
         (fun e ->
           Format.printf "%a@." (Access_log.pp_entry ~name_of) e)
         r.Pcl_harness.sim.Sim.log
-    end
+    end;
+    match r.Pcl_harness.sim.Sim.report.Schedule.stop with
+    | Schedule.Budget_exhausted { stalled_pid; last } ->
+        Format.printf "@.schedule stalled: %s@."
+          (Schedule.stop_to_string
+             r.Pcl_harness.sim.Sim.report.Schedule.stop);
+        Reason.exit_with
+          (Reason.Stall
+             {
+               pid = stalled_pid;
+               step = Option.map (fun e -> e.Access_log.index) last;
+               obj =
+                 Option.map
+                   (fun e ->
+                     Memory.name_of r.Pcl_harness.sim.Sim.mem
+                       e.Access_log.oid)
+                   last;
+               prim =
+                 Option.map
+                   (fun e -> Primitive.kind_name e.Access_log.prim)
+                   last;
+             })
+    | Schedule.Completed | Schedule.Crashed _ -> ()
   in
   Cmd.v
     (Cmd.info "trace"
@@ -445,7 +510,8 @@ let fuzz_violations t = t.wf_bad + t.of_bad + t.dap_bad + t.cons_bad + t.lint_ba
     with its verdict provenance attached.  With [lint], the pclsan trace
     passes additionally run on every execution; findings outside the TM's
     expected set count as violations (and are dumped as verdicts too). *)
-let run_fuzz ?dump_dir ?(lint = false) impl ~iters ~seed : fuzz_totals =
+let run_fuzz ?dump_dir ?(lint = false) ?(on_progress = fun () -> ()) impl
+    ~iters ~seed : fuzz_totals =
   let (module M : Tm_intf.S) = impl in
   let st = Random.State.make [| seed |] in
   let items = [ Item.v "x"; Item.v "y"; Item.v "z" ] in
@@ -627,7 +693,8 @@ let run_fuzz ?dump_dir ?(lint = false) impl ~iters ~seed : fuzz_totals =
   in
   let loop () =
     for i = 1 to iters do
-      iteration i
+      iteration i;
+      on_progress ()
     done
   in
   (match dump_dir with
@@ -654,17 +721,35 @@ let fuzz_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run tm iters seed record dump_dir lint =
-    let violations = ref 0 in
+  let run tm iters seed record dump_dir lint watch =
+    let violations = ref 0 and runs = ref 0 in
+    let kinds = Hashtbl.create 8 in
+    let count kind n =
+      if n > 0 then
+        Hashtbl.replace kinds kind
+          (n + Option.value ~default:0 (Hashtbl.find_opt kinds kind))
+    in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
+        let w =
+          make_watch ~enabled:watch ~label:("fuzz:" ^ M.name) ~every:50
+        in
         let t =
           run_fuzz
             ?dump_dir:(if record then Some dump_dir else None)
-            ~lint impl ~iters ~seed
+            ~lint
+            ~on_progress:(fun () -> watch_tick w)
+            impl ~iters ~seed
         in
+        watch_finish w;
         violations := !violations + fuzz_violations t;
+        runs := !runs + iters;
+        count "ill-formed" t.wf_bad;
+        count "obstruction-freedom" t.of_bad;
+        count "strict-dap" t.dap_bad;
+        count "consistency" t.cons_bad;
+        count "lint" t.lint_bad;
         Format.printf
           "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
            violations %d, consistency-target violations %d%s, stalled %d@."
@@ -679,7 +764,15 @@ let fuzz_cmd =
       (impls_of tm);
     if !violations > 0 then begin
       Format.printf "%d contract violation(s) found@." !violations;
-      exit 1
+      Reason.exit_with
+        (Reason.Contract_violation
+           {
+             violations = !violations;
+             runs = !runs;
+             kinds =
+               List.sort compare
+                 (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
+           })
     end
   in
   Cmd.v
@@ -694,7 +787,7 @@ let fuzz_cmd =
           $(b,--lint) the pclsan trace passes run on every execution and \
           findings outside the TM's expected set count as violations.")
     Term.(const run $ tm_arg $ iters $ seed $ record_arg $ dump_dir_arg
-          $ lint_flag)
+          $ lint_flag $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: replay a dumped trace artifact — render its timeline with the
@@ -853,7 +946,16 @@ let explain_cmd =
         | None -> ());
         (* a trace judged a violation (stored or recomputed verdicts) makes
            the replay fail, so CI can gate on `explain` directly *)
-        if verdicts <> [] then exit 1
+        if verdicts <> [] then
+          Reason.exit_with
+            (Reason.Violation_trace
+               {
+                 trace = file;
+                 verdicts = List.length verdicts;
+                 sources =
+                   List.sort_uniq compare
+                     (List.map (fun v -> v.Flight.source) verdicts);
+               })
   in
   Cmd.v
     (Cmd.info "explain"
@@ -943,10 +1045,14 @@ let lint_cmd =
     in
     let json_lines = ref [] in
     let findings_total = ref 0 and unexpected_total = ref 0 in
+    let unexpected_passes = ref [] in
     let lint_one ~target (input : Lint.input) passes =
       let res = Lints.run_passes ~config passes input in
       findings_total := !findings_total + List.length res.Lints.findings;
       unexpected_total := !unexpected_total + List.length res.Lints.unexpected;
+      unexpected_passes :=
+        List.map (fun (f : Lint.finding) -> f.Lint.pass) res.Lints.unexpected
+        @ !unexpected_passes;
       if not json then begin
         Format.printf "== %s (tm: %s)@." target
           (Option.value ~default:"unknown" res.Lints.tm);
@@ -968,6 +1074,7 @@ let lint_cmd =
       json_lines :=
         Obs_json.Obj
           [
+            Schema.field;
             ("type", Obs_json.String "lint-run");
             ("target", Obs_json.String target);
             ( "tm",
@@ -1045,7 +1152,14 @@ let lint_cmd =
     else
       Format.printf "@.%d finding(s), %d unexpected@." !findings_total
         !unexpected_total;
-    if !unexpected_total > 0 then exit 1
+    if !unexpected_total > 0 then
+      Reason.exit_with
+        (Reason.Unexpected_findings
+           {
+             unexpected = !unexpected_total;
+             total = !findings_total;
+             lints = List.sort_uniq compare !unexpected_passes;
+           })
   in
   Cmd.v
     (Cmd.info "lint"
@@ -1118,7 +1232,8 @@ let chaos_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Also write the JSONL matrix to $(docv).")
   in
-  let run tm all_tms faults cms iters seed json output record dump_dir =
+  let run tm all_tms faults cms iters seed json output record dump_dir watch
+      =
     let tms = if all_tms then Registry.all else impls_of tm in
     let base =
       match iters with
@@ -1141,10 +1256,12 @@ let chaos_cmd =
     let cfg = { base with Chaos_run.tms; faults; cms; seed } in
     if record then ensure_dir dump_dir;
     let artifacts = ref [] in
+    let w = make_watch ~enabled:watch ~label:"chaos" ~every:10 in
     let cells =
       Chaos_run.finalize cfg
         (List.map
            (fun (impl, klass, policy) ->
+             watch_tick w;
              if not record then Chaos_run.run_cell cfg impl klass policy
              else begin
                let fl = Flight.create () in
@@ -1167,6 +1284,7 @@ let chaos_cmd =
              end)
            (Chaos_run.combos cfg))
     in
+    watch_finish w;
     let violations =
       List.fold_left
         (fun acc c -> acc + c.Chaos_run.closure_violations)
@@ -1214,7 +1332,22 @@ let chaos_cmd =
     end;
     (* an unexpected Sat -> Unsat flip under crash truncation is a checker
        bug by definition — fail the sweep so CI catches it *)
-    if violations > 0 then exit 1
+    if violations > 0 then
+      Reason.exit_with
+        (Reason.Closure_violation
+           {
+             violations;
+             cells = List.length cells;
+             witnesses =
+               List.filter_map
+                 (fun (c : Chaos_run.cell) ->
+                   if c.Chaos_run.closure_violations > 0 then
+                     Some
+                       (Printf.sprintf "%s/%s/%s" c.Chaos_run.tm
+                          c.Chaos_run.fault c.Chaos_run.cm)
+                   else None)
+                 cells;
+           })
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1229,7 +1362,105 @@ let chaos_cmd =
           `pcl_tm explain' and `pcl_tm lint' consume.")
     Term.(
       const run $ tm_arg $ all_tms $ faults $ cms $ iters $ seed $ json
-      $ output $ record_arg $ dump_dir_arg)
+      $ output $ record_arg $ dump_dir_arg $ watch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cost: the synchronization-cost observatory — RMR/RMW metering over
+   the figure schedules and the explore sweep, per TM. *)
+
+let cost_cmd =
+  let all_tms =
+    Arg.(
+      value & flag
+      & info [ "all-tms" ]
+          ~doc:
+            "Meter every TM in the registry (the default when no $(b,-t) \
+             is given).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the cost matrix as JSONL on stdout.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL matrix to $(docv).")
+  in
+  let per_txn =
+    Arg.(
+      value & flag
+      & info [ "per-txn" ]
+          ~doc:
+            "Also print the per-transaction cost breakdown of each figure \
+             workload (table mode only).")
+  in
+  let run tm all_tms json output per_txn watch =
+    let impls = if all_tms then Registry.all else impls_of tm in
+    let rows =
+      List.concat_map
+        (fun impl ->
+          let w =
+            make_watch ~enabled:watch
+              ~label:("cost:" ^ Registry.name impl)
+              ~every:200
+          in
+          let rows =
+            Cost_run.rows_for ~on_execution:(fun () -> watch_tick w) impl
+          in
+          watch_finish w;
+          rows)
+        impls
+    in
+    let jsonl = Cost_run.to_jsonl rows in
+    (match output with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if json then print_string jsonl
+    else begin
+      Format.printf "%a@." Cost_run.pp_table rows;
+      if per_txn then
+        List.iter
+          (fun impl ->
+            List.iter
+              (fun (r : Cost_run.row) ->
+                if r.Cost_run.status = "ok" && r.Cost_run.cost.Cost.txns <> []
+                then begin
+                  Format.printf "@.%s / %s:@." r.Cost_run.tm
+                    r.Cost_run.workload;
+                  List.iter
+                    (fun txn -> Format.printf "  %a@." Cost.pp_txn txn)
+                    r.Cost_run.cost.Cost.txns
+                end)
+              (Cost_run.figure_rows impl))
+          impls;
+      Format.printf "@.%a@." Cost_run.pp_expectations ()
+    end;
+    match Cost_run.check rows with
+    | [] -> ()
+    | (tm, workload, violated) :: _ as all ->
+        Format.eprintf "%d cost expectation violation(s)@."
+          (List.length all);
+        Reason.exit_with (Reason.Cost_expectation { tm; workload; violated })
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "The cost observatory: derive per-TM synchronization-cost metrics \
+          — remote memory references (RMRs), RMW/CAS-class steps, \
+          reads-after-remote-writes, protected-data footprint versus data \
+          set, and wasted work split by abort cause — from the proof's \
+          figure schedules (Figures 1-6) and the stock explore sweep.  \
+          Deterministic: the JSONL is byte-identical across runs.  Exits \
+          non-zero when the observed matrix violates the expected-cost \
+          (\"PCL tax\") table or a universal cost law.")
+    Term.(
+      const run $ tm_arg $ all_tms $ json $ output $ per_txn $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report: run a workload silently, then dump the telemetry sink. *)
@@ -1327,6 +1558,13 @@ let report_cmd =
           on stdout ($(b,--json)), or to a file ($(b,-o)).")
     Term.(const run $ tm_arg $ workload $ iters $ seed $ json $ output)
 
+(* The exit funnel: every nonzero exit leaves through here with exactly
+   one machine-readable reason line on stderr.  Commands raise
+   [Reason.Exit_reason]; [Fmt.failwith] (Failure) and registry lookups
+   (Invalid_argument) map to invalid input; anything else is an internal
+   error; and a nonzero return from cmdliner itself (usage/parse errors,
+   which print their own diagnostics) is stamped [Cli_error] — guarded by
+   [Reason.emitted] so a reason raised through a command never doubles. *)
 let () =
   (* the chaos library's lint pass rides the pclsan plug-in registry *)
   Crash_closure.register ();
@@ -1334,9 +1572,24 @@ let () =
     Cmd.info "pcl_tm" ~version:"1.0"
       ~doc:"The PCL-theorem transactional-memory workbench."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
-            check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
-            explain_cmd; lint_cmd; chaos_cmd; report_cmd ]))
+  let group =
+    Cmd.group info
+      [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
+        check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
+        explain_cmd; lint_cmd; chaos_cmd; cost_cmd; report_cmd ]
+  in
+  let rc =
+    try Cmd.eval ~catch:false group with
+    | Reason.Exit_reason r ->
+        Reason.emit r;
+        1
+    | Failure msg | Invalid_argument msg ->
+        Reason.emit (Reason.Invalid_input { msg });
+        1
+    | e ->
+        Reason.emit (Reason.Internal_error { exn = Printexc.to_string e });
+        125
+  in
+  if rc <> 0 && not (Reason.emitted ()) then
+    Reason.emit (Reason.Cli_error { rc });
+  exit rc

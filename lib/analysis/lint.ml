@@ -45,6 +45,7 @@ let pp_finding ?(name_of = fun oid -> Printf.sprintf "oid%d" (Oid.to_int oid))
 let finding_json (f : finding) : J.t =
   J.Obj
     [
+      Tm_obs.Schema.field;
       ("type", J.String "finding");
       ("pass", J.String f.pass);
       ("severity", J.String (severity_to_string f.severity));

@@ -255,6 +255,7 @@ let matrix (cfg : cfg) : cell list =
 let cell_json (c : cell) : Tm_obs.Obs_json.t =
   Tm_obs.Obs_json.Obj
     [
+      Tm_obs.Schema.field;
       ("type", Tm_obs.Obs_json.String "chaos_cell");
       ("tm", Tm_obs.Obs_json.String c.tm);
       ("fault", Tm_obs.Obs_json.String c.fault);

@@ -19,6 +19,9 @@ module Metrics = Tm_obs.Metrics
 module Span = Tm_obs.Span
 module Sink = Tm_obs.Sink
 module Obs_json = Tm_obs.Obs_json
+module Schema = Tm_obs.Schema
+module Reason = Tm_obs.Reason
+module Watch = Tm_obs.Watch
 
 (* substrate *)
 module Value = Tm_base.Value
@@ -109,6 +112,10 @@ module Lint = Tm_analysis.Lint
 module Lint_passes = Tm_analysis.Passes
 module Figure_lint = Tm_analysis.Figure_lint
 module Lints = Tm_analysis.Lints
+
+(* the cost observatory: synchronization-cost metering *)
+module Cost = Tm_cost.Cost
+module Cost_run = Tm_cost.Cost_run
 
 (* chaos: fault injection, contention management, crash-closure *)
 module Chaos_prng = Tm_chaos.Prng

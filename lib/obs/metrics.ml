@@ -20,11 +20,23 @@ let canon (labels : labels) : labels =
 type counter = int ref
 type gauge = float ref
 
+(* Histograms keep a bounded, deterministically decimated sample buffer
+   for quantile estimates: the first [sample_cap] observations are stored
+   exactly; past that the (sorted) buffer is halved and the recording
+   stride doubled, so the kept samples remain an evenly spaced sketch of
+   the order statistics.  No randomness: two identical observation
+   streams yield identical quantiles, which the determinism tests pin. *)
+let sample_cap = 512
+
 type histogram = {
   mutable count : int;
   mutable sum : float;
   mutable minv : float;
   mutable maxv : float;
+  samples : float array;  (* length [sample_cap] *)
+  mutable kept : int;  (* samples in use *)
+  mutable stride : int;  (* record one observation in [stride] *)
+  mutable skip : int;  (* observations left before the next record *)
 }
 
 type cell_value = Counter of counter | Gauge of gauge | Hist of histogram
@@ -66,7 +78,17 @@ let gauge t ?(labels = []) name : gauge =
   | v -> kind_error name v "gauge"
 
 let fresh_hist () =
-  Hist { count = 0; sum = 0.; minv = infinity; maxv = neg_infinity }
+  Hist
+    {
+      count = 0;
+      sum = 0.;
+      minv = infinity;
+      maxv = neg_infinity;
+      samples = Array.make sample_cap 0.;
+      kept = 0;
+      stride = 1;
+      skip = 0;
+    }
 
 let histogram t ?(labels = []) name : histogram =
   match (get_cell t name labels fresh_hist).v with
@@ -84,7 +106,23 @@ let observe (h : histogram) x =
   h.count <- h.count + 1;
   h.sum <- h.sum +. x;
   if x < h.minv then h.minv <- x;
-  if x > h.maxv then h.maxv <- x
+  if x > h.maxv then h.maxv <- x;
+  if h.skip > 0 then h.skip <- h.skip - 1
+  else begin
+    if h.kept = sample_cap then begin
+      let sorted = Array.sub h.samples 0 h.kept in
+      Array.sort compare sorted;
+      let half = sample_cap / 2 in
+      for i = 0 to half - 1 do
+        h.samples.(i) <- sorted.((2 * i) + 1)
+      done;
+      h.kept <- half;
+      h.stride <- h.stride * 2
+    end;
+    h.samples.(h.kept) <- x;
+    h.kept <- h.kept + 1;
+    h.skip <- h.stride - 1
+  end
 
 (* one-shot conveniences *)
 let incr_c t ?labels name = inc (counter t ?labels name)
@@ -95,19 +133,49 @@ let set_g t ?labels name v = set (gauge t ?labels name) v
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
 
-type hist_stats = { count : int; sum : float; min : float; max : float }
+type hist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
 
 type value = VCounter of int | VGauge of float | VHistogram of hist_stats
 
 type sample = { name : string; labels : labels; value : value }
 
+(* nearest-rank quantile over a sorted array: exact while the stream fits
+   the sample buffer, an evenly decimated estimate afterwards *)
+let quantile_of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(Stdlib.min (n - 1) (Stdlib.max 0 (rank - 1)))
+
+let hist_quantiles (h : histogram) =
+  let sorted = Array.sub h.samples 0 h.kept in
+  Array.sort compare sorted;
+  ( quantile_of_sorted sorted 0.50,
+    quantile_of_sorted sorted 0.95,
+    quantile_of_sorted sorted 0.99 )
+
 let value_of_cell = function
   | Counter r -> VCounter !r
   | Gauge r -> VGauge !r
   | Hist h ->
-      if h.count = 0 then VHistogram { count = 0; sum = 0.; min = 0.; max = 0. }
+      if h.count = 0 then
+        VHistogram
+          { count = 0; sum = 0.; min = 0.; max = 0.; p50 = 0.; p95 = 0.;
+            p99 = 0. }
       else
-        VHistogram { count = h.count; sum = h.sum; min = h.minv; max = h.maxv }
+        let p50, p95, p99 = hist_quantiles h in
+        VHistogram
+          { count = h.count; sum = h.sum; min = h.minv; max = h.maxv;
+            p50; p95; p99 }
 
 let snapshot t : sample list =
   Hashtbl.fold
@@ -144,5 +212,8 @@ let reset t =
           h.count <- 0;
           h.sum <- 0.;
           h.minv <- infinity;
-          h.maxv <- neg_infinity)
+          h.maxv <- neg_infinity;
+          h.kept <- 0;
+          h.stride <- 1;
+          h.skip <- 0)
     t.cells

@@ -48,8 +48,20 @@ val set_g : t -> ?labels:labels -> string -> float -> unit
 
 (** {1 Snapshots} *)
 
-type hist_stats = { count : int; sum : float; min : float; max : float }
-(** [min]/[max] are 0 when [count] is 0. *)
+type hist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+(** [min]/[max]/quantiles are 0 when [count] is 0.  Quantiles are
+    nearest-rank estimates over a bounded, deterministically decimated
+    sample buffer: exact for streams of up to 512 observations, an evenly
+    spaced sketch beyond that.  No randomness — identical observation
+    streams yield identical quantiles. *)
 
 type value = VCounter of int | VGauge of float | VHistogram of hist_stats
 

@@ -1,0 +1,181 @@
+(* Stable machine-readable exit reasons.
+
+   Every nonzero exit of the CLI funnels through this registry: a command
+   that wants to fail raises [Exit_reason] with a structured reason, the
+   toplevel catches it, prints exactly one JSON line on stderr —
+   {"schema":1,"type":"reason","code":"PCL-Exxx","message":...,
+    payload fields...}
+   — and exits 1.  Codes are stable identifiers (append-only; never
+   renumber): scripts match on ["code"], humans read ["message"].  The
+   catalogue below is the single source of truth the docs table and the
+   exhaustiveness test check against. *)
+
+type t =
+  | Internal_error of { exn : string }
+  | Cli_error of { rc : int }
+  | Invalid_input of { msg : string }
+  | No_consistency of { failing : int; executions : int; tms : string list }
+  | Contract_violation of {
+      violations : int;
+      runs : int;
+      kinds : (string * int) list;  (* violation kind -> count *)
+    }
+  | Unexpected_findings of {
+      unexpected : int;
+      total : int;
+      lints : string list;  (* lint (pass) ids of the unexpected findings *)
+    }
+  | Closure_violation of {
+      violations : int;
+      cells : int;
+      witnesses : string list;  (* "tm/fault/cm" of each flipped cell *)
+    }
+  | Violation_trace of { trace : string; verdicts : int; sources : string list }
+  | Stall of {
+      pid : int;  (* the stalled process *)
+      step : int option;  (* global index of its last step, if any *)
+      obj : string option;  (* contention object: the last step's base object *)
+      prim : string option;  (* primitive of that last step *)
+    }
+  | Cost_expectation of {
+      tm : string;
+      workload : string;
+      violated : string list;  (* expectation labels that failed *)
+    }
+
+exception Exit_reason of t
+
+let code = function
+  | Internal_error _ -> "PCL-E000"
+  | Cli_error _ -> "PCL-E001"
+  | Invalid_input _ -> "PCL-E002"
+  | No_consistency _ -> "PCL-E101"
+  | Contract_violation _ -> "PCL-E102"
+  | Unexpected_findings _ -> "PCL-E103"
+  | Closure_violation _ -> "PCL-E104"
+  | Violation_trace _ -> "PCL-E105"
+  | Stall _ -> "PCL-E106"
+  | Cost_expectation _ -> "PCL-E107"
+
+(* code -> one-line meaning; the docs reason-code table mirrors this *)
+let catalogue =
+  [
+    ("PCL-E000", "internal error: an unexpected exception escaped");
+    ("PCL-E001", "command-line error: cmdliner rejected the invocation");
+    ("PCL-E002", "invalid input: unknown name, bad schedule or parse error");
+    ("PCL-E101", "exploration found executions satisfying no consistency \
+                  condition");
+    ("PCL-E102", "fuzzing found TM contract violations");
+    ("PCL-E103", "lint produced findings not expected for the TM");
+    ("PCL-E104", "chaos sweep found crash-closure violations");
+    ("PCL-E105", "explained trace carries consistency violations");
+    ("PCL-E106", "schedule stalled: step budget exhausted before completion");
+    ("PCL-E107", "cost matrix violated the expected-cost table");
+  ]
+
+let message r =
+  match r with
+  | Internal_error { exn } -> Printf.sprintf "internal error: %s" exn
+  | Cli_error { rc } ->
+      Printf.sprintf "command-line error (cmdliner exit %d)" rc
+  | Invalid_input { msg } -> msg
+  | No_consistency { failing; executions; _ } ->
+      Printf.sprintf
+        "%d of %d execution(s) satisfy no consistency condition" failing
+        executions
+  | Contract_violation { violations; runs; _ } ->
+      Printf.sprintf "%d contract violation(s) across %d fuzz run(s)"
+        violations runs
+  | Unexpected_findings { unexpected; total; _ } ->
+      Printf.sprintf "%d unexpected finding(s) (of %d total)" unexpected
+        total
+  | Closure_violation { violations; cells; _ } ->
+      Printf.sprintf "%d crash-closure violation(s) across %d chaos cell(s)"
+        violations cells
+  | Violation_trace { trace; verdicts; _ } ->
+      Printf.sprintf "%s: %d consistency verdict(s) recorded" trace verdicts
+  | Stall { pid; step; _ } -> (
+      match step with
+      | None -> Printf.sprintf "p%d stalled before taking any step" pid
+      | Some i -> Printf.sprintf "p%d stalled; its last step was #%d" pid i)
+  | Cost_expectation { tm; workload; _ } ->
+      Printf.sprintf "cost expectations violated for %s on %s" tm workload
+
+let strings ss = Obs_json.List (List.map (fun s -> Obs_json.String s) ss)
+
+let payload : t -> (string * Obs_json.t) list = function
+  | Internal_error { exn } -> [ ("exn", Obs_json.String exn) ]
+  | Cli_error { rc } -> [ ("rc", Obs_json.Int rc) ]
+  | Invalid_input _ -> []
+  | No_consistency { failing; executions; tms } ->
+      [
+        ("failing", Obs_json.Int failing);
+        ("executions", Obs_json.Int executions);
+        ("tms", strings tms);
+      ]
+  | Contract_violation { violations; runs; kinds } ->
+      [
+        ("violations", Obs_json.Int violations);
+        ("runs", Obs_json.Int runs);
+        ( "kinds",
+          Obs_json.Obj (List.map (fun (k, n) -> (k, Obs_json.Int n)) kinds)
+        );
+      ]
+  | Unexpected_findings { unexpected; total; lints } ->
+      [
+        ("unexpected", Obs_json.Int unexpected);
+        ("total", Obs_json.Int total);
+        ("lints", strings lints);
+      ]
+  | Closure_violation { violations; cells; witnesses } ->
+      [
+        ("violations", Obs_json.Int violations);
+        ("cells", Obs_json.Int cells);
+        ("witnesses", strings witnesses);
+      ]
+  | Violation_trace { trace; verdicts; sources } ->
+      [
+        ("trace", Obs_json.String trace);
+        ("verdicts", Obs_json.Int verdicts);
+        ("sources", strings sources);
+      ]
+  | Stall { pid; step; obj; prim } ->
+      let opt name f = function
+        | None -> [ (name, Obs_json.Null) ]
+        | Some v -> [ (name, f v) ]
+      in
+      (("pid", Obs_json.Int pid) :: opt "step" (fun i -> Obs_json.Int i) step)
+      @ opt "object" (fun s -> Obs_json.String s) obj
+      @ opt "prim" (fun s -> Obs_json.String s) prim
+  | Cost_expectation { tm; workload; violated } ->
+      [
+        ("tm", Obs_json.String tm);
+        ("workload", Obs_json.String workload);
+        ("violated", strings violated);
+      ]
+
+let to_json r =
+  Obs_json.Obj
+    ([
+       Schema.field;
+       ("type", Obs_json.String "reason");
+       ("code", Obs_json.String (code r));
+       ("message", Obs_json.String (message r));
+     ]
+    @ payload r)
+
+(* [emitted] lets the toplevel guarantee "exactly one reason line per
+   nonzero exit" even for exits it did not mint itself (cmdliner's own
+   parse errors return nonzero from [Cmd.eval]). *)
+let emitted_flag = ref false
+let emitted () = !emitted_flag
+
+let emit r =
+  emitted_flag := true;
+  (* anything buffered on stdout lands before the reason line when the
+     two streams share a terminal *)
+  Format.pp_print_flush Format.std_formatter ();
+  flush stdout;
+  Printf.eprintf "%s\n%!" (Obs_json.to_string (to_json r))
+
+let exit_with r = raise (Exit_reason r)

@@ -1,0 +1,9 @@
+(* One schema version for every machine-readable artifact the workbench
+   emits: flight recordings, lint findings, report/metric JSONL, chaos
+   cells, cost rows and reason lines all stamp the same ["schema"] key,
+   so a consumer checks one number regardless of which subcommand
+   produced the file. *)
+
+let version = 1
+
+let field : string * Obs_json.t = ("schema", Obs_json.Int version)

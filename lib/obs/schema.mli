@@ -1,0 +1,9 @@
+(** The shared artifact-schema version.  Every machine-readable output of
+    the workbench — flight recordings, lint findings, report JSONL, chaos
+    cells, cost rows, reason lines — carries the same ["schema"] key with
+    this value, so consumers check one number regardless of producer. *)
+
+val version : int
+
+val field : string * Obs_json.t
+(** [("schema", Int version)] — splice into any JSON object. *)

@@ -55,11 +55,11 @@ let time ?labels name f =
 
 (* ------------------------------------------------------------------ *)
 (* JSONL export.  Schema (one JSON object per line):
-     {"type":"run","meta":{...}}
+     {"type":"run","schema":1,"meta":{...}}
      {"type":"metric","kind":"counter","name":N,"labels":{...},"value":V}
      {"type":"metric","kind":"gauge",...,"value":V}
      {"type":"metric","kind":"histogram",...,"count":N,"sum":S,"min":m,
-      "max":M}
+      "max":M,"p50":…,"p95":…,"p99":…}
      {"type":"span","name":N,"labels":{...},"depth":D,"seq":Q,
       "start_step":A,"end_step":B,"steps":B-A,"wall_ns":W}
      {"type":"spans_dropped","count":N}        (only if the cap was hit) *)
@@ -87,6 +87,9 @@ let sample_json (s : Metrics.sample) : Obs_json.t =
             ("sum", Obs_json.Float h.Metrics.sum);
             ("min", Obs_json.Float h.Metrics.min);
             ("max", Obs_json.Float h.Metrics.max);
+            ("p50", Obs_json.Float h.Metrics.p50);
+            ("p95", Obs_json.Float h.Metrics.p95);
+            ("p99", Obs_json.Float h.Metrics.p99);
           ])
 
 let span_json (sp : Span.span) : Obs_json.t =
@@ -108,6 +111,7 @@ let jsonl_values t : Obs_json.t list =
     Obs_json.Obj
       [
         ("type", Obs_json.String "run");
+        Schema.field;
         ("meta", labels_json (meta t));
       ]
   in
@@ -158,11 +162,14 @@ let pp_table ppf t =
       | Metrics.VGauge v ->
           Fmt.pf ppf "%-34s %a %g@\n" s.name pp_labels s.labels v
       | Metrics.VHistogram h ->
-          Fmt.pf ppf "%-34s %a count=%d sum=%.0f min=%.0f max=%.0f mean=%.1f@\n"
+          Fmt.pf ppf
+            "%-34s %a count=%d sum=%.0f min=%.0f max=%.0f mean=%.1f \
+             p50=%.0f p95=%.0f p99=%.0f@\n"
             s.name pp_labels s.labels h.Metrics.count h.Metrics.sum
             h.Metrics.min h.Metrics.max
             (if h.Metrics.count = 0 then 0.
-             else h.Metrics.sum /. float_of_int h.Metrics.count))
+             else h.Metrics.sum /. float_of_int h.Metrics.count)
+            h.Metrics.p50 h.Metrics.p95 h.Metrics.p99)
     samples;
   let n_spans = Span.count t.tracer in
   if n_spans > 0 then begin

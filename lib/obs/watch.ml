@@ -1,0 +1,58 @@
+(* Live run telemetry: one-line progress snapshots rendered from the
+   default metrics registry.
+
+   A watch is driven by deterministic progress ticks (one per execution /
+   iteration / cell) and emits every [every] ticks plus a final line, so
+   the *structure* of the output is reproducible even though the rates it
+   prints are wall-clock.  Snapshots go to stderr by default — they never
+   contaminate the machine-readable stdout/JSONL of the command being
+   watched. *)
+
+type t = {
+  label : string;  (* e.g. "explore:tl-lock" *)
+  every : int;  (* emit every [every] ticks *)
+  counters : (string * string) list;  (* display key -> metric name *)
+  out : out_channel;
+  started : float;
+  mutable ticks : int;
+  mutable emitted : int;
+}
+
+let create ?(out = stderr) ?(every = 100) ~label counters =
+  {
+    label;
+    every = max 1 every;
+    counters;
+    out;
+    started = Unix.gettimeofday ();
+    ticks = 0;
+    emitted = 0;
+  }
+
+let render t =
+  t.emitted <- t.emitted + 1;
+  let elapsed = Unix.gettimeofday () -. t.started in
+  let rate =
+    if elapsed > 0. then float_of_int t.ticks /. elapsed else 0.
+  in
+  let m = Sink.metrics Sink.default in
+  let cells =
+    List.map
+      (fun (key, metric) ->
+        Printf.sprintf "%s=%d" key (Metrics.sum_counters m metric))
+      t.counters
+  in
+  Printf.fprintf t.out "[watch %s] t=%.1fs ticks=%d (%.0f/s) %s\n%!"
+    t.label elapsed t.ticks rate
+    (String.concat " " cells)
+
+(** One unit of progress; emits a snapshot line every [every] ticks. *)
+let tick t =
+  t.ticks <- t.ticks + 1;
+  if t.ticks mod t.every = 0 then render t
+
+(** The closing snapshot — always emitted, so even a short run yields at
+    least one line. *)
+let finish t = render t
+
+let emitted t = t.emitted

@@ -1,0 +1,26 @@
+(** Live run telemetry: one-line progress/metrics snapshots rendered from
+    the default sink's metrics registry, driven by deterministic progress
+    ticks (per execution / iteration / cell).  Lines go to stderr by
+    default, never to the machine-readable stdout. *)
+
+type t
+
+val create :
+  ?out:out_channel ->
+  ?every:int ->
+  label:string ->
+  (string * string) list ->
+  t
+(** [create ~label counters] — [counters] maps display keys to metric
+    names in {!Sink.default}; each snapshot prints
+    [key=sum_counters(metric)] for every pair.  [every] (default 100)
+    sets the tick period between snapshots. *)
+
+val tick : t -> unit
+(** One unit of progress; emits a snapshot every [every] ticks. *)
+
+val finish : t -> unit
+(** Emit the closing snapshot unconditionally. *)
+
+val emitted : t -> int
+(** Snapshot lines emitted so far. *)

@@ -244,7 +244,7 @@ let resp_of_json : J.t -> Event.resp = function
 
 (* ------------------------------------------------------------------ *)
 (* JSONL artifact.  Schema (one object per line, in this order):
-     {"type":"flight","version":1,"meta":{...}}
+     {"type":"flight","version":1,"schema":1,"meta":{...}}
      {"type":"objects","names":[...]}
      {"type":"dropped","count":N}                  (only after wraparound)
      {"type":"step","i":I,"pid":P,"tid":T|null,"oid":O,"changed":B,
@@ -254,7 +254,7 @@ let resp_of_json : J.t -> Event.resp = function
      {"type":"verdict","source":S,"verdict":V,"axiom":A,
       "txns":[...],"steps":[...]}                                      *)
 
-let version = 1
+let version = Tm_obs.Schema.version
 
 let step_json (e : Access_log.entry) : J.t =
   J.Obj
@@ -353,6 +353,7 @@ let jsonl_values t : J.t list =
       [
         ("type", J.String "flight");
         ("version", J.Int version);
+        Tm_obs.Schema.field;
         ("meta", J.Obj (List.map (fun (k, v) -> (k, J.String v)) t.meta));
       ]
   in

@@ -340,13 +340,13 @@ let test_golden_fig2_jsonl () =
   Alcotest.(check (list string))
     "figure 2 lint lines"
     [
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":11,\"txns\":[1,2],\"oids\":[0],\"witness_steps\":[5,11],\"message\":\"unordered conflicting accesses to cell:a: p1's cas (step 5) and p2's read (step 11) have no happens-before edge\"}";
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":15,\"txns\":[2,5],\"oids\":[2],\"witness_steps\":[14,15],\"message\":\"unordered conflicting accesses to cell:b2: p2's cas (step 14) and p5's read (step 15) have no happens-before edge\"}";
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":20,\"txns\":[2,5],\"oids\":[5],\"witness_steps\":[10,20],\"message\":\"unordered conflicting accesses to cell:b5: p2's read (step 10) and p5's cas (step 20) have no happens-before edge\"}";
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":36,\"txns\":[1,7],\"oids\":[0],\"witness_steps\":[5,36],\"message\":\"unordered conflicting accesses to cell:a: p1's cas (step 5) and p7's read (step 36) have no happens-before edge\"}";
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":36,\"txns\":[2,7],\"oids\":[0],\"witness_steps\":[12,36],\"message\":\"unordered conflicting accesses to cell:a: p2's cas (step 12) and p7's read (step 36) have no happens-before edge\"}";
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":43,\"txns\":[1,7],\"oids\":[7],\"witness_steps\":[2,43],\"message\":\"unordered conflicting accesses to cell:b7: p1's read (step 2) and p7's cas (step 43) have no happens-before edge\"}";
-      "{\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":43,\"txns\":[2,7],\"oids\":[7],\"witness_steps\":[9,43],\"message\":\"unordered conflicting accesses to cell:b7: p2's read (step 9) and p7's cas (step 43) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":11,\"txns\":[1,2],\"oids\":[0],\"witness_steps\":[5,11],\"message\":\"unordered conflicting accesses to cell:a: p1's cas (step 5) and p2's read (step 11) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":15,\"txns\":[2,5],\"oids\":[2],\"witness_steps\":[14,15],\"message\":\"unordered conflicting accesses to cell:b2: p2's cas (step 14) and p5's read (step 15) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":20,\"txns\":[2,5],\"oids\":[5],\"witness_steps\":[10,20],\"message\":\"unordered conflicting accesses to cell:b5: p2's read (step 10) and p5's cas (step 20) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":36,\"txns\":[1,7],\"oids\":[0],\"witness_steps\":[5,36],\"message\":\"unordered conflicting accesses to cell:a: p1's cas (step 5) and p7's read (step 36) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":36,\"txns\":[2,7],\"oids\":[0],\"witness_steps\":[12,36],\"message\":\"unordered conflicting accesses to cell:a: p2's cas (step 12) and p7's read (step 36) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":43,\"txns\":[1,7],\"oids\":[7],\"witness_steps\":[2,43],\"message\":\"unordered conflicting accesses to cell:b7: p1's read (step 2) and p7's cas (step 43) have no happens-before edge\"}";
+      "{\"schema\":1,\"type\":\"finding\",\"pass\":\"race\",\"severity\":\"warning\",\"step\":43,\"txns\":[2,7],\"oids\":[7],\"witness_steps\":[9,43],\"message\":\"unordered conflicting accesses to cell:b7: p2's read (step 9) and p7's cas (step 43) have no happens-before edge\"}";
     ]
     lines
 

@@ -59,6 +59,58 @@ let test_histogram_stats () =
   | _ -> Alcotest.fail "expected two samples")
 
 (* ------------------------------------------------------------------ *)
+(* quantiles: for up to [sample_cap] observations the sample buffer is
+   complete, so p50/p95/p99 must equal the exact nearest-rank quantiles
+   of the sorted data; above the cap they are decimated estimates but
+   stay ordered and bracketed by min/max *)
+
+let exact_nearest_rank xs q =
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = max 0 (min (n - 1) (int_of_float (ceil (q *. float n)) - 1)) in
+  List.nth sorted rank
+
+let quantile_law =
+  QCheck.Test.make ~name:"histogram quantiles: exact under cap, ordered"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 80) (map (fun x -> Float.abs x) float))
+    (fun xs ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "q_ns" in
+      List.iter (Metrics.observe h) xs;
+      match Metrics.find m "q_ns" with
+      | Some (Metrics.VHistogram s) ->
+          let close a b = Float.abs (a -. b) < 1e-9 in
+          close s.Metrics.p50 (exact_nearest_rank xs 0.50)
+          && close s.Metrics.p95 (exact_nearest_rank xs 0.95)
+          && close s.Metrics.p99 (exact_nearest_rank xs 0.99)
+          && s.Metrics.p50 <= s.Metrics.p95
+          && s.Metrics.p95 <= s.Metrics.p99
+          && s.Metrics.min <= s.Metrics.p50
+          && s.Metrics.p99 <= s.Metrics.max
+      | _ -> false)
+
+let test_quantiles_over_cap () =
+  (* 10_000 >> sample_cap: the decimated estimates of a uniform ramp
+     stay ordered, bracketed, and near the true quantiles *)
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "ramp_ns" in
+  for i = 1 to 10_000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  match Metrics.find m "ramp_ns" with
+  | Some (Metrics.VHistogram s) ->
+      Alcotest.(check int) "count" 10_000 s.Metrics.count;
+      Alcotest.(check bool) "ordered" true
+        (s.Metrics.p50 <= s.Metrics.p95 && s.Metrics.p95 <= s.Metrics.p99);
+      Alcotest.(check bool) "bracketed" true
+        (s.Metrics.min <= s.Metrics.p50 && s.Metrics.p99 <= s.Metrics.max);
+      let near q v = Float.abs (v -. (q *. 10_000.0)) < 500.0 in
+      Alcotest.(check bool) "p50 near median" true (near 0.50 s.Metrics.p50);
+      Alcotest.(check bool) "p95 near rank" true (near 0.95 s.Metrics.p95)
+  | _ -> Alcotest.fail "expected histogram"
+
+(* ------------------------------------------------------------------ *)
 (* spans *)
 
 let test_span_nesting () =
@@ -222,6 +274,9 @@ let () =
           Alcotest.test_case "counter aggregation" `Quick
             test_counter_aggregation;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          QCheck_alcotest.to_alcotest quantile_law;
+          Alcotest.test_case "quantiles over cap" `Quick
+            test_quantiles_over_cap;
         ] );
       ( "span",
         [
