@@ -23,6 +23,9 @@
      cost        per-TM synchronization-cost matrix (RMRs, RMW-class
                  steps, wasted work) over the figure schedules and the
                  explore sweep
+     soak        per-TM runtime cost of the segmented endurance driver
+                 (ns/step and allocated words/step — the perf
+                 regression gate's inputs)
      hierarchy   the anomaly x checker separation matrix (T-D)
 *)
 
@@ -86,7 +89,7 @@ let section_enabled cli name =
   let requested = cli.sections in
   (requested = []
   && ((not cli.json) || name = "scaling" || name = "chaos"
-     || name = "explore" || name = "cost"))
+     || name = "explore" || name = "cost" || name = "soak"))
   || List.mem name requested
   || (List.mem "figures" requested
      && String.length name = 4
@@ -537,6 +540,57 @@ let cost_bench () : Cost_run.row list =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* soak: per-TM runtime cost of the segmented endurance driver — ns per
+   step (wall, machine-dependent) and allocated words per step (near
+   deterministic for a pinned compiler), the two numbers the perf
+   regression gate watches so later runtime work can't silently regress
+   the hot path.  Steps and txns are simulator-deterministic and land
+   in the baseline exactly. *)
+
+type soak_row = {
+  stm : string;
+  s_txns : int;
+  s_steps : int;
+  s_wall_ns : int;
+  s_words : float;
+}
+
+let soak_bench ~seed () : soak_row list =
+  let txns = 2_000 in
+  let cfg tm_seed = { Soak.default with Soak.txns; seed = tm_seed } in
+  Format.printf
+    "segmented soak, %d committed txns per TM (conflict %d%%), warm run:@."
+    txns Soak.default.Soak.conflict_pct;
+  Format.printf "%-14s %8s %10s %12s %12s@." "TM" "txns" "steps" "ns/step"
+    "words/step";
+  List.map
+    (fun impl ->
+      let (module M : Tm_intf.S) = impl in
+      ignore (Soak.run impl (cfg seed));
+      (* warm-up *)
+      let gcm = Gcstat.create () in
+      let t0 = Sys.time () in
+      let o = Soak.run impl (cfg seed) in
+      let wall_ns = int_of_float ((Sys.time () -. t0) *. 1e9) in
+      let words = Gcstat.allocated_words gcm in
+      let p = o.Soak.progress in
+      let fsteps = float_of_int (max 1 p.Soak.steps) in
+      (* pram-local commits without memory steps: per-step rates are 0 *)
+      Format.printf "%-14s %8d %10d %12.1f %12.1f%s@." M.name
+        p.Soak.txns_done p.Soak.steps
+        (if p.Soak.steps = 0 then 0. else float_of_int wall_ns /. fsteps)
+        (if p.Soak.steps = 0 then 0. else words /. fsteps)
+        (if o.Soak.stall = None then "" else "  [STALLED]");
+      {
+        stm = M.name;
+        s_txns = p.Soak.txns_done;
+        s_steps = p.Soak.steps;
+        s_wall_ns = wall_ns;
+        s_words = words;
+      })
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* T-D: hierarchy matrix *)
 
 let hierarchy () =
@@ -618,8 +672,24 @@ let explore_row_json (r : explore_row) : Obs_json.t =
           (float_of_int r.naive_nodes /. float_of_int (max 1 r.por_nodes)) );
     ]
 
+let soak_row_json (r : soak_row) : Obs_json.t =
+  let fsteps = float_of_int (max 1 r.s_steps) in
+  Obs_json.Obj
+    [
+      ("tm", Obs_json.String r.stm);
+      ("txns", Obs_json.Int r.s_txns);
+      ("steps", Obs_json.Int r.s_steps);
+      ( "ns_per_step",
+        Obs_json.Float
+          (if r.s_steps = 0 then 0. else float_of_int r.s_wall_ns /. fsteps)
+      );
+      ( "words_per_step",
+        Obs_json.Float (if r.s_steps = 0 then 0. else r.s_words /. fsteps) );
+    ]
+
 let write_summary cli (rows : scaling_row list) (chaos : chaos_row list)
-    (explore : explore_row list) (cost : Cost_run.row list) =
+    (explore : explore_row list) (cost : Cost_run.row list)
+    (soak : soak_row list) =
   let metric_lines =
     List.filter
       (fun j ->
@@ -637,6 +707,7 @@ let write_summary cli (rows : scaling_row list) (chaos : chaos_row list)
         ("chaos", Obs_json.List (List.map chaos_row_json chaos));
         ("explore", Obs_json.List (List.map explore_row_json explore));
         ("cost", Obs_json.List (List.map Cost_run.row_json cost));
+        ("soak", Obs_json.List (List.map soak_row_json soak));
         ("metrics", Obs_json.List metric_lines);
       ]
   in
@@ -656,6 +727,7 @@ let () =
   let chaos_rows = ref [] in
   let explore_rows = ref [] in
   let cost_rows = ref [] in
+  let soak_rows = ref [] in
   let sections =
     [
       ("fig1", fun () -> fig12 `Fig1);
@@ -674,6 +746,7 @@ let () =
       ("chaos", fun () -> chaos_rows := chaos_overhead ~iters:cli.iters ());
       ("explore", fun () -> explore_rows := explore_bench ());
       ("cost", fun () -> cost_rows := cost_bench ());
+      ("soak", fun () -> soak_rows := soak_bench ~seed:cli.seed ());
       ("hierarchy", hierarchy);
       ("progress", progress);
       ("liveness", liveness);
@@ -688,3 +761,4 @@ let () =
     sections;
   if cli.json then
     write_summary cli !scaling_rows !chaos_rows !explore_rows !cost_rows
+      !soak_rows

@@ -1034,10 +1034,12 @@ let lint_cmd =
           ~doc:"Also write the JSONL export to $(docv).")
   in
   let run tm traces pass_filter all_tms horizon connectivity max_findings
-      json output =
+      json output watch =
     let config =
       { Lint.horizon; dap_connectivity = connectivity; max_findings }
     in
+    (* one watch tick per lint target (trace file or live TM run) *)
+    let w = make_watch ~enabled:watch ~label:"lint" ~every:1 in
     let chosen ~default =
       match pass_filter with
       | [] -> default
@@ -1048,6 +1050,7 @@ let lint_cmd =
     let unexpected_passes = ref [] in
     let lint_one ~target (input : Lint.input) passes =
       let res = Lints.run_passes ~config passes input in
+      watch_tick w;
       findings_total := !findings_total + List.length res.Lints.findings;
       unexpected_total := !unexpected_total + List.length res.Lints.unexpected;
       unexpected_passes :=
@@ -1138,6 +1141,7 @@ let lint_cmd =
           { (Lint.input_of_flight fl) with Lint.tm = Some M.name }
           (chosen ~default:(Lints.all ())))
       impls;
+    watch_finish w;
     let jsonl =
       String.concat ""
         (List.map (fun j -> Obs_json.to_string j ^ "\n") !json_lines)
@@ -1172,7 +1176,7 @@ let lint_cmd =
           about it); exits non-zero on any unexpected finding.")
     Term.(
       const run $ tm_arg $ traces $ pass_filter $ all_tms $ horizon
-      $ connectivity $ max_findings $ json $ output)
+      $ connectivity $ max_findings $ json $ output $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos: fault injection x contention management, the per-TM robustness
@@ -1463,6 +1467,300 @@ let cost_cmd =
       const run $ tm_arg $ all_tms $ json $ output $ per_txn $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
+(* soak: million-transaction endurance runs with continuous phase
+   profiling and GC/allocation metering.  The stdout stream leads with
+   one byte-deterministic {"type":"soak"} line per TM (totals only);
+   the wall-clock and GC numbers ride in separate schema-stamped
+   {"type":"perf"} records so determinism gates on the head still
+   hold. *)
+
+let soak_cmd =
+  let txns =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "n"; "txns" ] ~docv:"N"
+          ~doc:"Committed-transaction target per TM.")
+  in
+  let all_tms =
+    Arg.(
+      value & flag
+      & info [ "all-tms" ]
+          ~doc:
+            "Soak every TM in the registry (the default when no $(b,-t) \
+             is given).")
+  in
+  let procs =
+    Arg.(
+      value & opt int Soak.default.Soak.n_procs
+      & info [ "procs" ] ~docv:"P" ~doc:"Concurrent processes.")
+  in
+  let conflict =
+    Arg.(
+      value & opt int Soak.default.Soak.conflict_pct
+      & info [ "conflict" ] ~docv:"PCT"
+          ~doc:"Probability (0..100) a transaction touches shared items.")
+  in
+  let seed =
+    Arg.(
+      value & opt int Soak.default.Soak.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base RNG seed.")
+  in
+  let segment =
+    Arg.(
+      value & opt int Soak.default.Soak.segment_txns
+      & info [ "segment" ] ~docv:"TXNS"
+          ~doc:
+            "Transactions per process per segment (each segment is a \
+             fresh bounded simulator world, so memory stays flat).")
+  in
+  let budget =
+    Arg.(
+      value & opt int Soak.default.Soak.budget
+      & info [ "budget" ] ~docv:"STEPS"
+          ~doc:
+            "Step budget per segment — the liveness fence; a segment \
+             that exhausts it stalls the soak (PCL-E108).")
+  in
+  let tick =
+    Arg.(
+      value & opt int Soak.default.Soak.tick_steps
+      & info [ "tick" ] ~docv:"STEPS"
+          ~doc:
+            "Steps between observer ticks (watch snapshots, GC \
+             samples); tick boundaries are deterministic.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the soak/perf records as JSONL on stdout.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL records to $(docv).")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Write the aggregated phase profile as collapsed stacks \
+             (flamegraph.pl / speedscope input) to $(docv).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the phase spans as a Chrome trace-event file (load \
+             via chrome://tracing or Perfetto) to $(docv).")
+  in
+  let gc_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gc" ] ~docv:"FILE"
+          ~doc:
+            "Write per-tick GC/allocation samples as JSONL to $(docv) \
+             (the closing perf record is always emitted on the main \
+             stream).")
+  in
+  let run tm all_tms txns procs conflict seed segment budget tick json
+      output profile_file chrome_file gc_file watch =
+    let impls = if all_tms then Registry.all else impls_of tm in
+    let profiling = profile_file <> None || chrome_file <> None in
+    let tracer = Sink.tracer Sink.default in
+    let prof = Prof.create () in
+    let chrome_spans = ref [] in
+    let gc_lines = ref [] in
+    let lines = ref [] in
+    let first_stall = ref None in
+    List.iter
+      (fun impl ->
+        let (module M : Tm_intf.S) = impl in
+        if !first_stall = None then begin
+          let cfg =
+            {
+              Soak.default with
+              Soak.txns;
+              n_procs = procs;
+              conflict_pct = conflict;
+              seed;
+              segment_txns = segment;
+              budget;
+              tick_steps = tick;
+            }
+          in
+          let w =
+            make_watch ~enabled:watch ~label:("soak:" ^ M.name) ~every:10
+          in
+          let gcm = Gcstat.create () in
+          if profiling then Span.reset tracer;
+          let on_tick (p : Soak.progress) =
+            watch_tick w;
+            let s =
+              Gcstat.sample gcm
+                ~tick:(p.Soak.steps / max 1 tick)
+                ~steps:p.Soak.steps ~txns:p.Soak.txns_done
+            in
+            if gc_file <> None then
+              gc_lines :=
+                Obs_json.Obj
+                  [
+                    Schema.field;
+                    ("type", Obs_json.String "perf_sample");
+                    ("tm", Obs_json.String M.name);
+                    ("tick", Obs_json.Int s.Gcstat.tick);
+                    ("steps", Obs_json.Int s.Gcstat.steps);
+                    ("txns", Obs_json.Int s.Gcstat.txns);
+                    ("alloc_words", Obs_json.Float s.Gcstat.alloc_words);
+                    ( "minor_collections",
+                      Obs_json.Int s.Gcstat.minor_collections );
+                    ( "major_collections",
+                      Obs_json.Int s.Gcstat.major_collections );
+                  ]
+                :: !gc_lines
+          in
+          (* fold each segment's spans into the profile and reset the
+             tracer, so the span buffer never overflows over a million
+             transactions *)
+          let on_segment (_ : Soak.progress) =
+            if profiling then begin
+              let spans = Span.spans tracer in
+              Prof.add_spans prof spans;
+              if chrome_file <> None then
+                chrome_spans := List.rev_append spans !chrome_spans;
+              Span.reset tracer
+            end
+          in
+          let t0 = Unix.gettimeofday () in
+          let o = Soak.run ~on_tick ~on_segment impl cfg in
+          let wall_ns =
+            int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+          in
+          watch_finish w;
+          let p = o.Soak.progress in
+          (* the byte-deterministic totals line *)
+          lines :=
+            Obs_json.Obj
+              [
+                Schema.field;
+                ("type", Obs_json.String "soak");
+                ("tm", Obs_json.String M.name);
+                ("txns", Obs_json.Int p.Soak.txns_done);
+                ("target", Obs_json.Int txns);
+                ("aborts", Obs_json.Int p.Soak.aborts);
+                ("steps", Obs_json.Int p.Soak.steps);
+                ("segments", Obs_json.Int p.Soak.segments);
+                ( "stop",
+                  Obs_json.String
+                    (match o.Soak.stall with
+                    | None -> "completed"
+                    | Some _ -> "stalled") );
+              ]
+            :: !lines;
+          (* the perf record: the one place wall-clock and GC numbers
+             are allowed *)
+          (match
+             Gcstat.report gcm ~wall_ns ~steps:p.Soak.steps
+               ~txns:p.Soak.txns_done
+           with
+          | Obs_json.Obj fields ->
+              lines :=
+                Obs_json.Obj (fields @ [ ("tm", Obs_json.String M.name) ])
+                :: !lines
+          | j -> lines := j :: !lines);
+          if not json then begin
+            Format.printf "soak %-12s %d/%d txns (%d aborts) in %d steps, \
+                           %d segments [%s]@."
+              M.name p.Soak.txns_done txns p.Soak.aborts p.Soak.steps
+              p.Soak.segments
+              (match o.Soak.stall with
+              | None -> "completed"
+              | Some _ -> "STALLED");
+            let fsteps = float_of_int (max 1 p.Soak.steps) in
+            Format.printf "  perf: %.1f ns/step, %.1f words/step@."
+              (float_of_int wall_ns /. fsteps)
+              (Gcstat.allocated_words gcm /. fsteps)
+          end;
+          match o.Soak.stall with
+          | None -> ()
+          | Some st ->
+              first_stall :=
+                Some
+                  (Reason.Soak_stall
+                     {
+                       tm = M.name;
+                       pid = st.Soak.pid;
+                       step = st.Soak.step;
+                       obj = st.Soak.obj;
+                       prim = st.Soak.prim;
+                       txns = p.Soak.txns_done;
+                       target = txns;
+                     })
+        end)
+      impls;
+    let jsonl =
+      String.concat ""
+        (List.rev_map (fun j -> Obs_json.to_string j ^ "\n") !lines)
+    in
+    (match output with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if json then print_string jsonl;
+    (match profile_file with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Prof.to_collapsed ~metric:Prof.Wall_ns prof);
+        close_out oc;
+        if not json then Format.printf "@.%a@." Prof.pp prof
+    | None -> ());
+    (match chrome_file with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc
+          (Obs_json.to_string
+             (Prof.spans_to_chrome (List.rev !chrome_spans)));
+        close_out oc
+    | None -> ());
+    (match gc_file with
+    | Some f ->
+        let oc = open_out f in
+        List.iter
+          (fun j -> output_string oc (Obs_json.to_string j ^ "\n"))
+          (List.rev !gc_lines);
+        close_out oc
+    | None -> ());
+    match !first_stall with
+    | Some r -> Reason.exit_with r
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "The soak observatory: drive N (default 10^6) committed \
+          transactions per TM through the stock workload in fresh \
+          bounded segments, with live $(b,--watch) snapshots, \
+          continuous phase profiling ($(b,--profile) collapsed stacks, \
+          $(b,--chrome) trace events) and GC/allocation metering \
+          ($(b,--gc), plus a closing schema-stamped perf record).  The \
+          leading JSONL line per TM is byte-deterministic.  A segment \
+          that exhausts its step budget stalls the soak: exactly one \
+          machine-readable PCL-E108 reason line naming the wedged \
+          process, step and object, and a nonzero exit.")
+    Term.(
+      const run $ tm_arg $ all_tms $ txns $ procs $ conflict $ seed
+      $ segment $ budget $ tick $ json $ output $ profile_arg
+      $ chrome_arg $ gc_arg $ watch_arg)
+
+(* ------------------------------------------------------------------ *)
 (* report: run a workload silently, then dump the telemetry sink. *)
 
 let report_workloads =
@@ -1576,7 +1874,7 @@ let () =
     Cmd.group info
       [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
         check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
-        explain_cmd; lint_cmd; chaos_cmd; cost_cmd; report_cmd ]
+        explain_cmd; lint_cmd; chaos_cmd; cost_cmd; soak_cmd; report_cmd ]
   in
   let rc =
     try Cmd.eval ~catch:false group with

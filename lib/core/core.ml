@@ -22,6 +22,8 @@ module Obs_json = Tm_obs.Obs_json
 module Schema = Tm_obs.Schema
 module Reason = Tm_obs.Reason
 module Watch = Tm_obs.Watch
+module Prof = Tm_obs.Prof
+module Gcstat = Tm_obs.Gcstat
 
 (* substrate *)
 module Value = Tm_base.Value
@@ -104,6 +106,7 @@ module Liveness_class = Tm_probe.Liveness_class
 module Workload = Tm_probe.Workload
 module Progress = Tm_probe.Progress
 module Explore_sweep = Tm_probe.Explore_sweep
+module Soak = Tm_probe.Soak
 
 (* pclsan: the happens-before engine and lint passes *)
 module Vclock = Tm_analysis.Vclock

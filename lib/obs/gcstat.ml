@@ -1,0 +1,109 @@
+(* GC and allocation metering for long runs.
+
+   A meter snapshots [Gc.quick_stat] at creation and reports deltas
+   since then, sampled at deterministic tick boundaries (the caller
+   decides what a tick is — the soak driver uses step-count
+   boundaries, so the *sampling structure* reproduces even though the
+   values are machine-dependent).  None of this ever lands in the
+   byte-deterministic JSONL streams: the meter renders into a separate
+   schema-stamped {"type":"perf"} record, so determinism gates on the
+   main artifacts keep holding with GC metering switched on. *)
+
+type snap = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let snap () =
+  let s = Gc.quick_stat () in
+  {
+    (* quick_stat's minor_words only refreshes at GC slices on OCaml 5;
+       Gc.minor_words reads the domain's live allocation counter *)
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+  }
+
+let delta a b =
+  {
+    minor_words = b.minor_words -. a.minor_words;
+    promoted_words = b.promoted_words -. a.promoted_words;
+    major_words = b.major_words -. a.major_words;
+    minor_collections = b.minor_collections - a.minor_collections;
+    major_collections = b.major_collections - a.major_collections;
+  }
+
+(* words allocated by the program: everything that went through the
+   minor heap, plus direct major allocations (promotions counted once) *)
+let allocated d = d.minor_words +. d.major_words -. d.promoted_words
+
+type sample = {
+  tick : int;  (** the deterministic boundary this sample was taken at *)
+  steps : int;
+  txns : int;
+  alloc_words : float;  (** cumulative since the meter was created *)
+  minor_collections : int;
+  major_collections : int;
+}
+
+type t = {
+  base : snap;
+  cap : int;
+  mutable samples_rev : sample list;
+  mutable n : int;
+}
+
+let create ?(cap = 1024) () = { base = snap (); cap; samples_rev = []; n = 0 }
+
+let sample t ~tick ~steps ~txns =
+  let d = delta t.base (snap ()) in
+  let s =
+    {
+      tick;
+      steps;
+      txns;
+      alloc_words = allocated d;
+      minor_collections = d.minor_collections;
+      major_collections = d.major_collections;
+    }
+  in
+  if t.n < t.cap then begin
+    t.samples_rev <- s :: t.samples_rev;
+    t.n <- t.n + 1
+  end;
+  s
+
+let samples t = List.rev t.samples_rev
+let allocated_words t = allocated (delta t.base (snap ()))
+
+(** The schema-stamped perf record — the one place wall-clock and
+    GC numbers are allowed to appear, kept out of deterministic
+    streams by its ["type"]. *)
+let report t ~wall_ns ~steps ~txns : Obs_json.t =
+  let open Obs_json in
+  let d = delta t.base (snap ()) in
+  let per den v = if den > 0 then v /. float_of_int den else 0. in
+  Obj
+    [
+      Schema.field;
+      ("type", String "perf");
+      ("wall_ns", Int wall_ns);
+      ("steps", Int steps);
+      ("txns", Int txns);
+      ("minor_words", Float d.minor_words);
+      ("promoted_words", Float d.promoted_words);
+      ("major_words", Float d.major_words);
+      ("allocated_words", Float (allocated d));
+      ("minor_collections", Int d.minor_collections);
+      ("major_collections", Int d.major_collections);
+      ("ns_per_step", Float (per steps (float_of_int wall_ns)));
+      ("words_per_step", Float (per steps (allocated d)));
+      ("ns_per_txn", Float (per txns (float_of_int wall_ns)));
+      ("words_per_txn", Float (per txns (allocated d)));
+      ("samples", Int t.n);
+    ]

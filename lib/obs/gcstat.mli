@@ -1,0 +1,38 @@
+(** GC and allocation metering for long runs.
+
+    A meter reports deltas of [Gc.quick_stat] since its creation,
+    sampled at deterministic tick boundaries the caller chooses (the
+    soak driver uses step-count boundaries: the sampling {e structure}
+    reproduces even though the values are machine-dependent).  Values
+    render only into a separate schema-stamped ["perf"] record — never
+    into the byte-deterministic JSONL streams. *)
+
+type sample = {
+  tick : int;  (** the deterministic boundary this sample was taken at *)
+  steps : int;
+  txns : int;
+  alloc_words : float;  (** cumulative since the meter was created *)
+  minor_collections : int;
+  major_collections : int;
+}
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** Snapshot the GC now; deltas are measured from here.  [cap]
+    (default 1024) bounds the retained sample list. *)
+
+val sample : t -> tick:int -> steps:int -> txns:int -> sample
+(** Take (and, below [cap], retain) a sample at a tick boundary. *)
+
+val samples : t -> sample list
+(** Retained samples, oldest first. *)
+
+val allocated_words : t -> float
+(** Words allocated since the meter was created
+    (minor + major - promoted). *)
+
+val report : t -> wall_ns:int -> steps:int -> txns:int -> Obs_json.t
+(** The schema-stamped [{"schema":1,"type":"perf",...}] record:
+    absolute and per-step/per-txn allocation and time rates plus
+    collection counts. *)

@@ -1,0 +1,188 @@
+(* Hierarchical phase profiling over the span tracer.
+
+   The tracer records completed spans in completion order with their
+   nesting depth; that pair of facts is enough to rebuild the call
+   forest without timestamps: walking the list with a stack, a span at
+   depth d adopts (as children) exactly the already-completed subtrees
+   deeper than d sitting on top of the stack — they completed before it
+   and nothing shallower intervened.  Aggregation then keys on the
+   name path from the root ("soak.segment;soak.drive"), giving each
+   phase a call count, total (inclusive) and self (exclusive) wall time
+   and step count — the paper's own cost measure rides along for free.
+
+   Two exports: the collapsed-stack text format flamegraph.pl and
+   speedscope consume ("a;b;c 1234", one line per stack, sorted), and
+   Chrome trace events alongside the flight recorder's, using logical
+   step indices as microsecond timestamps so the trace is deterministic
+   and lines up with the step axis of every other artifact. *)
+
+type node = {
+  path : string list;  (** names from the root, outermost first *)
+  mutable count : int;
+  mutable total_ns : int;
+  mutable self_ns : int;
+  mutable total_steps : int;
+  mutable self_steps : int;
+}
+
+type t = { tbl : (string, node) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let key path = String.concat ";" path
+
+let node t path =
+  let k = key path in
+  match Hashtbl.find_opt t.tbl k with
+  | Some n -> n
+  | None ->
+      let n =
+        {
+          path;
+          count = 0;
+          total_ns = 0;
+          self_ns = 0;
+          total_steps = 0;
+          self_steps = 0;
+        }
+      in
+      Hashtbl.add t.tbl k n;
+      n
+
+(* -- call-forest reconstruction ---------------------------------------- *)
+
+type tree = { span : Span.span; children : tree list }
+
+(** Rebuild the call forest from completion-ordered spans.  The stack
+    holds completed subtrees still awaiting their parent, newest first;
+    a span at depth [d] pops the contiguous run of strictly deeper
+    subtrees — its children, in completion order once re-reversed. *)
+let forest (spans : Span.span list) : tree list =
+  let stack = ref [] in
+  List.iter
+    (fun (sp : Span.span) ->
+      let rec take kids = function
+        | tr :: rest when tr.span.Span.depth > sp.Span.depth ->
+            take (tr :: kids) rest
+        | rest -> (kids, rest)
+      in
+      let children, rest = take [] !stack in
+      stack := { span = sp; children } :: rest)
+    spans;
+  List.rev !stack
+
+let rec add_tree t rpath (tr : tree) =
+  let sp = tr.span in
+  let rpath = sp.Span.name :: rpath in
+  let kid_ns = ref 0 and kid_steps = ref 0 in
+  List.iter
+    (fun (k : tree) ->
+      kid_ns := !kid_ns + k.span.Span.wall_ns;
+      kid_steps := !kid_steps + Span.steps_of k.span;
+      add_tree t rpath k)
+    tr.children;
+  let n = node t (List.rev rpath) in
+  let steps = Span.steps_of sp in
+  n.count <- n.count + 1;
+  n.total_ns <- n.total_ns + sp.Span.wall_ns;
+  n.self_ns <- n.self_ns + max 0 (sp.Span.wall_ns - !kid_ns);
+  n.total_steps <- n.total_steps + steps;
+  n.self_steps <- n.self_steps + max 0 (steps - !kid_steps)
+
+(** Fold more spans into an existing profile — the incremental path a
+    long soak uses: aggregate each segment's spans, then reset the
+    tracer, so the profile stays O(distinct phases) while the run is
+    O(millions of transactions). *)
+let add_spans t spans = List.iter (add_tree t []) (forest spans)
+
+let of_spans spans =
+  let t = create () in
+  add_spans t spans;
+  t
+
+(** Fold [src] into [dst] (profiles of disjoint runs add pointwise). *)
+let add_into ~dst src =
+  Hashtbl.iter
+    (fun _ (s : node) ->
+      let d = node dst s.path in
+      d.count <- d.count + s.count;
+      d.total_ns <- d.total_ns + s.total_ns;
+      d.self_ns <- d.self_ns + s.self_ns;
+      d.total_steps <- d.total_steps + s.total_steps;
+      d.self_steps <- d.self_steps + s.self_steps)
+    src.tbl
+
+let merge a b =
+  let t = create () in
+  add_into ~dst:t a;
+  add_into ~dst:t b;
+  t
+
+let nodes t =
+  Hashtbl.fold (fun _ n acc -> n :: acc) t.tbl []
+  |> List.sort (fun a b -> compare a.path b.path)
+
+(* -- exports ------------------------------------------------------------ *)
+
+type metric = Wall_ns | Steps | Calls
+
+let metric_of (m : metric) (n : node) =
+  match m with
+  | Wall_ns -> n.self_ns
+  | Steps -> n.self_steps
+  | Calls -> n.count
+
+(** The collapsed-stack text format ("a;b;c 1234\n", lexicographically
+    sorted): each line weighs a stack by its {e self} value, so the sum
+    over lines is the whole run — exactly what flamegraph.pl and
+    speedscope expect. *)
+let to_collapsed ?(metric = Wall_ns) t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" (key n.path) (metric_of metric n)))
+    (nodes t);
+  Buffer.contents buf
+
+(** Chrome trace events for raw spans, one complete ("ph":"X") event
+    per span on a single track, with logical step indices as
+    microsecond timestamps — the same deterministic convention as the
+    flight recorder's export, so both open side by side in a viewer. *)
+let spans_to_chrome ?(pid = 1) (spans : Span.span list) : Obs_json.t =
+  let open Obs_json in
+  let ev (sp : Span.span) =
+    Obj
+      [
+        ("name", String sp.Span.name);
+        ("ph", String "X");
+        ("ts", Int sp.Span.start_step);
+        ("dur", Int (Span.steps_of sp));
+        ("pid", Int pid);
+        ("tid", Int (1 + sp.Span.depth));
+        ( "args",
+          Obj
+            ([
+               ("seq", Int sp.Span.seq);
+               ("wall_ns", Int sp.Span.wall_ns);
+             ]
+            @ List.map (fun (k, v) -> (k, String v)) sp.Span.labels) );
+      ]
+  in
+  Obj
+    [
+      ("traceEvents", List (List.map ev spans));
+      ("displayTimeUnit", String "ms");
+    ]
+
+let pp ppf t =
+  let ns = nodes t in
+  Fmt.pf ppf "@[<v>%-40s %8s %12s %12s %10s %10s@," "phase" "calls"
+    "total_ms" "self_ms" "tot_steps" "self_steps";
+  List.iter
+    (fun n ->
+      Fmt.pf ppf "%-40s %8d %12.3f %12.3f %10d %10d@," (key n.path) n.count
+        (float_of_int n.total_ns /. 1e6)
+        (float_of_int n.self_ns /. 1e6)
+        n.total_steps n.self_steps)
+    ns;
+  Fmt.pf ppf "@]"

@@ -42,6 +42,15 @@ type t =
       workload : string;
       violated : string list;  (* expectation labels that failed *)
     }
+  | Soak_stall of {
+      tm : string;
+      pid : int;  (* the wedged process *)
+      step : int option;  (* global index of its last step, if any *)
+      obj : string option;  (* base object of that last step *)
+      prim : string option;  (* primitive of that last step *)
+      txns : int;  (* transactions committed before the wedge *)
+      target : int;  (* the soak's transaction target *)
+    }
 
 exception Exit_reason of t
 
@@ -56,6 +65,7 @@ let code = function
   | Violation_trace _ -> "PCL-E105"
   | Stall _ -> "PCL-E106"
   | Cost_expectation _ -> "PCL-E107"
+  | Soak_stall _ -> "PCL-E108"
 
 (* code -> one-line meaning; the docs reason-code table mirrors this *)
 let catalogue =
@@ -71,6 +81,8 @@ let catalogue =
     ("PCL-E105", "explained trace carries consistency violations");
     ("PCL-E106", "schedule stalled: step budget exhausted before completion");
     ("PCL-E107", "cost matrix violated the expected-cost table");
+    ("PCL-E108", "soak stalled: segment budget exhausted before the \
+                  transaction target");
   ]
 
 let message r =
@@ -100,6 +112,18 @@ let message r =
       | Some i -> Printf.sprintf "p%d stalled; its last step was #%d" pid i)
   | Cost_expectation { tm; workload; _ } ->
       Printf.sprintf "cost expectations violated for %s on %s" tm workload
+  | Soak_stall { tm; pid; step; txns; target; _ } -> (
+      match step with
+      | None ->
+          Printf.sprintf
+            "soak of %s stalled: p%d wedged before taking any step \
+             (%d of %d txns)"
+            tm pid txns target
+      | Some i ->
+          Printf.sprintf
+            "soak of %s stalled: p%d wedged; its last step was #%d \
+             (%d of %d txns)"
+            tm pid i txns target)
 
 let strings ss = Obs_json.List (List.map (fun s -> Obs_json.String s) ss)
 
@@ -153,6 +177,16 @@ let payload : t -> (string * Obs_json.t) list = function
         ("workload", Obs_json.String workload);
         ("violated", strings violated);
       ]
+  | Soak_stall { tm; pid; step; obj; prim; txns; target } ->
+      let opt name f = function
+        | None -> [ (name, Obs_json.Null) ]
+        | Some v -> [ (name, f v) ]
+      in
+      [ ("tm", Obs_json.String tm); ("pid", Obs_json.Int pid) ]
+      @ opt "step" (fun i -> Obs_json.Int i) step
+      @ opt "object" (fun s -> Obs_json.String s) obj
+      @ opt "prim" (fun s -> Obs_json.String s) prim
+      @ [ ("txns", Obs_json.Int txns); ("target", Obs_json.Int target) ]
 
 let to_json r =
   Obs_json.Obj

@@ -41,6 +41,15 @@ type t =
       workload : string;
       violated : string list;
     }  (** PCL-E107 *)
+  | Soak_stall of {
+      tm : string;
+      pid : int;
+      step : int option;
+      obj : string option;
+      prim : string option;
+      txns : int;
+      target : int;
+    }  (** PCL-E108 *)
 
 exception Exit_reason of t
 

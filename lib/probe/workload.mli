@@ -29,4 +29,17 @@ type stats = {
 }
 
 val items_for : config -> Item.t list
+
+val client :
+  config ->
+  Txn_api.handle ->
+  pid:int ->
+  commits:int ref ->
+  aborts:int ref ->
+  unit ->
+  unit
+(** One client process: the configured transaction stream with retries,
+    bumping [commits]/[aborts] as it goes — exposed so other drivers
+    (the soak observatory) reuse the exact workload semantics. *)
+
 val run : Tm_intf.impl -> config -> stats

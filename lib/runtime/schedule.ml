@@ -157,6 +157,11 @@ type session = {
   mutable crashes_rev : (int * int) list;
   mutable steps_rev : int list;  (* per executed atom, newest first *)
   mutable stopped : stop option;  (* [Some _] once the schedule halted *)
+  mutable total_steps : int;  (* steps executed across all atoms *)
+  mutable on_tick : int -> unit;
+      (* progress hook, called with [total_steps] after every atom that
+         executed at least one step — the deterministic heartbeat live
+         observers (watch lines, GC sampling) key their boundaries on *)
 }
 
 let session ?(budget = 100_000) sched =
@@ -167,7 +172,12 @@ let session ?(budget = 100_000) sched =
     crashes_rev = [];
     steps_rev = [];
     stopped = None;
+    total_steps = 0;
+    on_tick = ignore;
   }
+
+let set_tick s f = s.on_tick <- f
+let session_steps s = s.total_steps
 
 type feed_outcome = {
   steps : int;  (** steps the atom actually took *)
@@ -193,8 +203,15 @@ let feed (s : session) (atom : atom) : feed_outcome =
           last = Access_log.last_by_pid (Memory.log mem) pid;
         }
       in
+      let tick n =
+        if n > 0 then begin
+          s.total_steps <- s.total_steps + n;
+          s.on_tick s.total_steps
+        end
+      in
       let ok n =
         s.steps_rev <- n :: s.steps_rev;
+        tick n;
         { steps = n; halted = false }
       in
       (* a halting atom still records its step count (if any): the steps
@@ -202,7 +219,9 @@ let feed (s : session) (atom : atom) : feed_outcome =
       let halt stop counted =
         s.stopped <- Some stop;
         (match counted with
-        | Some n -> s.steps_rev <- n :: s.steps_rev
+        | Some n ->
+            s.steps_rev <- n :: s.steps_rev;
+            tick n
         | None -> ());
         { steps = Option.value ~default:0 counted; halted = true }
       in

@@ -103,6 +103,17 @@ val feed : session -> atom -> feed_outcome
 
 val session_stopped : session -> bool
 
+val set_tick : session -> (int -> unit) -> unit
+(** Install the session's progress hook, called with the cumulative
+    executed step count ({!session_steps}) after every atom that
+    executed at least one step.  Step counts are deterministic, so the
+    tick boundaries are too — live observers (watch snapshots, GC
+    sampling) key on them to keep their {e structure} reproducible.
+    Default: no-op. *)
+
+val session_steps : session -> int
+(** Steps executed across all atoms fed so far. *)
+
 val session_report : session -> report
 (** The report over everything fed so far — [stop = Completed] while the
     session is still running.  Cheap and side-effect free, so it can be

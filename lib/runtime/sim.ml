@@ -47,6 +47,10 @@ type cursor = {
   budget : int;
   mutable path_rev : Schedule.atom list;  (* executed atoms, newest first *)
   mutable live : live option;  (* None: a fork not yet re-materialized *)
+  mutable tick : (int -> unit) option;
+      (* live-progress hook; installed on the session only after a
+         re-materialization has replayed the prefix, so replays never
+         re-fire ticks that already happened *)
 }
 
 (* Build (or rebuild) the live world: fresh memory and recorder, the
@@ -77,12 +81,23 @@ let materialize (c : cursor) : live =
       List.iter
         (fun a -> ignore (Schedule.feed session a))
         (List.rev c.path_rev);
+      Option.iter (Schedule.set_tick session) c.tick;
       l
 
 let start ?(budget = 100_000) (setup : setup) : cursor =
-  let c = { setup; budget; path_rev = []; live = None } in
+  let c = { setup; budget; path_rev = []; live = None; tick = None } in
   ignore (materialize c);
   c
+
+(** Install a live-progress hook: called with the session's cumulative
+    step count after every atom that executes a step.  Forks inherit
+    the hook but a re-materialization replay never re-fires ticks for
+    its prefix — ticks mark live progress, not replayed history. *)
+let on_tick (c : cursor) f =
+  c.tick <- Some f;
+  match c.live with
+  | Some l -> Schedule.set_tick l.session f
+  | None -> ()
 
 let fork (c : cursor) : cursor = { c with live = None }
 let is_live (c : cursor) : bool = c.live <> None
@@ -205,7 +220,9 @@ let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list)
       match !mem_ref with Some m -> Memory.step_count m | None -> 0)
     (fun () ->
       Tm_obs.Sink.span "sim.replay" (fun () ->
-          let c = { setup; budget; path_rev = []; live = None } in
+          let c =
+            { setup; budget; path_rev = []; live = None; tick = None }
+          in
           let l = materialize c in
           mem_ref := Some l.mem;
           List.iter (fun a -> ignore (apply c a)) atoms;

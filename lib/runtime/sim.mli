@@ -72,6 +72,14 @@ val steps_taken : cursor -> int
 (** Global memory steps executed so far — the constant-time progress
     clock (what [List.length result.log] cost O(n) to ask). *)
 
+val on_tick : cursor -> (int -> unit) -> unit
+(** Install a live-progress hook on the cursor's schedule session:
+    called with the cumulative executed step count after every atom
+    that executes at least one step ({!Schedule.set_tick}).  Step
+    counts are deterministic, so tick boundaries are too.  Forks
+    inherit the hook, but a re-materialization replay does not re-fire
+    ticks for its prefix — ticks mark live progress only. *)
+
 val path : cursor -> Schedule.atom list
 (** The executed atoms, oldest first: a schedule that replays to exactly
     this configuration. *)

@@ -160,6 +160,16 @@ let test_reason_catalogue () =
       Reason.Stall { pid = 1; step = None; obj = None; prim = None };
       Reason.Cost_expectation
         { tm = "a"; workload = "explore"; violated = [ "rmw!=0" ] };
+      Reason.Soak_stall
+        {
+          tm = "x";
+          pid = 1;
+          step = None;
+          obj = None;
+          prim = None;
+          txns = 0;
+          target = 1;
+        };
     ]
   in
   Alcotest.(check int) "catalogue covers every constructor"
@@ -196,7 +206,13 @@ let test_cli_no_bare_exits () =
     String.iteri
       (fun i _ -> if contains_at i "exit 1" then incr bare)
       src;
-    Alcotest.(check int) "no bare `exit 1' in the CLI" 0 !bare
+    Alcotest.(check int) "no bare `exit 1' in the CLI" 0 !bare;
+    (* and the soak command's stall exit goes through the registry *)
+    let found = ref false in
+    String.iteri
+      (fun i _ -> if contains_at i "Reason.Soak_stall" then found := true)
+      src;
+    Alcotest.(check bool) "soak stall uses Reason.Soak_stall" true !found
   end
 
 let () =

@@ -266,6 +266,27 @@ let test_replay_counters () =
   | l -> Alcotest.failf "expected one sim.replay span, got %d" (List.length l));
   Sink.reset sink
 
+(* the human-readable table surfaces histogram quantiles: `report'
+   renders latency distributions through this printer, so the p50/p95/
+   p99 columns are part of its contract *)
+let test_pp_table_quantiles () =
+  let sink = Sink.create () in
+  let m = Sink.metrics sink in
+  let h = Metrics.histogram m "latency_ns" in
+  List.iter (fun v -> Metrics.observe h (float_of_int v)) [ 1; 5; 9 ];
+  let out = Fmt.str "%a" Sink.pp_table sink in
+  List.iter
+    (fun needle ->
+      let ok =
+        let n = String.length needle and l = String.length out in
+        let rec mem i =
+          i + n <= l && (String.sub out i n = needle || mem (i + 1))
+        in
+        mem 0
+      in
+      Alcotest.(check bool) (needle ^ " in table") true ok)
+    [ "latency_ns"; "p50="; "p95="; "p99=" ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -284,7 +305,11 @@ let () =
           Alcotest.test_case "cap" `Quick test_span_cap;
         ] );
       ( "sink",
-        [ Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip ] );
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "table quantiles" `Quick
+            test_pp_table_quantiles;
+        ] );
       ( "sim",
         [ Alcotest.test_case "replay counters" `Quick test_replay_counters ] );
     ]
