@@ -587,7 +587,12 @@ let run_fuzz ?dump_dir ?(lint = false) ?(on_progress = fun () -> ()) impl
             witness_txns = [];
             witness_steps = [];
           });
-    if M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
+    if
+      (* the blocking TMs stall instead of aborting; lp-progressive
+         aborts on conflicts with *suspended* lock holders, which is
+         progressive but not obstruction-free *)
+      M.name <> "tl-lock" && M.name <> "tl2-clock" && M.name <> "norec"
+      && M.name <> "lp-progressive"
     then begin
       match Obstruction_freedom.violations r.Sim.history r.Sim.log with
       | [] -> ()
@@ -611,7 +616,9 @@ let run_fuzz ?dump_dir ?(lint = false) ?(on_progress = fun () -> ()) impl
                 })
             vs
     end;
-    if List.mem M.name [ "tl-lock"; "pram-local"; "candidate" ] then begin
+    if
+      List.mem M.name [ "tl-lock"; "pram-local"; "candidate"; "lp-progressive" ]
+    then begin
       match
         Strict_dap.violations
           ~data_sets:(Static_txn.data_sets specs)
@@ -1048,6 +1055,9 @@ let lint_cmd =
     let json_lines = ref [] in
     let findings_total = ref 0 and unexpected_total = ref 0 in
     let unexpected_passes = ref [] in
+    (* first unexpected progress-guarantee finding, kept whole so the exit
+       can go through PCL-E109 with a step-level witness *)
+    let progress_failure = ref None in
     let lint_one ~target (input : Lint.input) passes =
       let res = Lints.run_passes ~config passes input in
       watch_tick w;
@@ -1056,6 +1066,31 @@ let lint_cmd =
       unexpected_passes :=
         List.map (fun (f : Lint.finding) -> f.Lint.pass) res.Lints.unexpected
         @ !unexpected_passes;
+      List.iter
+        (fun (f : Lint.finding) ->
+          match !progress_failure with
+          | Some _ -> ()
+          | None when f.Lint.pass <> "progressiveness" && f.Lint.pass <> "pwf"
+            ->
+              ()
+          | None ->
+              let txn =
+                match f.Lint.txns with t :: _ -> Some t | [] -> None
+              in
+              let witness_step =
+                match (f.Lint.step, f.Lint.witness_steps) with
+                | Some s, _ -> Some s
+                | None, s :: _ -> Some s
+                | None, [] -> None
+              in
+              progress_failure :=
+                Some
+                  ( res.Lints.tm,
+                    f.Lint.pass,
+                    Option.bind txn (History.pid_of_txn input.Lint.history),
+                    Option.map Tid.to_int txn,
+                    witness_step ))
+        res.Lints.unexpected;
       if not json then begin
         Format.printf "== %s (tm: %s)@." target
           (Option.value ~default:"unknown" res.Lints.tm);
@@ -1115,7 +1150,10 @@ let lint_cmd =
             lint_one ~target:file
               (Lint.input_of_flight fl)
               (chosen
-                 ~default:(Lint_passes.trace_passes @ Lint.registered ())))
+                 ~default:
+                   (Lint_passes.trace_passes
+                   @ [ Progress_lint.progressiveness ]
+                   @ Lint.registered ())))
       traces;
     let impls =
       if all_tms then Registry.all
@@ -1158,20 +1196,34 @@ let lint_cmd =
         !unexpected_total;
     if !unexpected_total > 0 then
       Reason.exit_with
-        (Reason.Unexpected_findings
-           {
-             unexpected = !unexpected_total;
-             total = !findings_total;
-             lints = List.sort_uniq compare !unexpected_passes;
-           })
+        (match !progress_failure with
+        | Some (tm, pass, pid, txn, witness_step) ->
+            (* a progress-guarantee detector tripped: exit PCL-E109 naming
+               the witness rather than the generic unexpected-findings code *)
+            Reason.Progress_violation
+              {
+                tm;
+                pass;
+                pid;
+                txn;
+                witness_step;
+                unexpected = !unexpected_total;
+              }
+        | None ->
+            Reason.Unexpected_findings
+              {
+                unexpected = !unexpected_total;
+                total = !findings_total;
+                lints = List.sort_uniq compare !unexpected_passes;
+              })
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "pclsan: run the happens-before engine and lint passes (race, \
           strict-dap, of-stall, lost-update, write-skew, torn-snapshot, \
-          figure-consistency) over dumped trace artifacts or live \
-          recorded workload runs.  Findings are classified against each \
+          progressiveness, pwf, figure-consistency) over dumped trace \
+          artifacts or live recorded runs.  Findings are classified against each \
           TM's expected set (the lint confirming what the theorem says \
           about it); exits non-zero on any unexpected finding.")
     Term.(

@@ -122,6 +122,15 @@ let table : (string * expectation) list =
     ("tl2-clock", { build = `Blocks; fires = []; stalls = true });
     ("norec", { build = `Blocks; fires = []; stalls = true });
     ("llsc-candidate", { build = `Ok; fires = []; stalls = false });
+    (* lp-progressive is the L corner again, by aborts instead of spins: a
+       paused writer's lock makes the reader abort itself forever, so the
+       construction blocks and the stall probe's forced aborts trip
+       of-stall's uncontended-abort arm *)
+    ("lp-progressive", { build = `Blocks; fires = []; stalls = true });
+    (* pwf-readers pays the P corner maximally: every transaction crosses
+       the snapshot root *)
+    ( "pwf-readers",
+      { build = `Ok; fires = [ "race"; "strict-dap" ]; stalls = false } );
   ]
 
 let expected name = List.assoc_opt name table

@@ -2,7 +2,8 @@
 
 open Tm_trace
 
-let builtin = Passes.trace_passes @ [ Figure_lint.pass ]
+let builtin =
+  Passes.trace_passes @ Progress_lint.passes @ [ Figure_lint.pass ]
 
 let all () =
   let plugins = Lint.registered () in
@@ -58,18 +59,35 @@ let find_exn n =
      doomed reader can observe a commit's half-installed write set
      (torn-snapshot); the paper's SI drops first-committer-wins, so
      si-clock admits lost-update on top of write-skew; the weak TMs
-     admit the full catalogue. *)
+     admit the full catalogue.
+   - pwf: partial wait-freedom of read-only transactions is the rarest
+     guarantee on the board — only the multiversion snapshot designs
+     (si-clock, pwf-readers) and the no-communication corner
+     (pram-local) keep readers wait-free.  The blocking TMs stall the
+     reader on a suspended writer's locks, lp-progressive and tl2-clock
+     abort it, and the invalidation designs (dstm, candidate,
+     llsc-candidate) revoke readers under fair contention.
+   - progressiveness never appears below: every stock TM's forced
+     aborts are attributable to a read-write conflict with a concurrent
+     transaction on these workloads, and the blocking TMs pay as
+     of-stall/pwf stalls rather than unattributable aborts.  (The pass
+     earns its keep on adversarial traces — see the stall fixtures in
+     test_analysis — and as the obligation the two new TMs are verified
+     against.) *)
 let expected_table : (string * string list) list =
   [
-    ("tl-lock", [ "race"; "torn-snapshot"; "of-stall" ]);
+    ("tl-lock", [ "race"; "torn-snapshot"; "of-stall"; "pwf" ]);
     ("pram-local", [ "race"; "lost-update"; "write-skew"; "torn-snapshot" ]);
-    ("dstm", [ "race"; "strict-dap" ]);
+    ("dstm", [ "race"; "strict-dap"; "pwf" ]);
     ("si-clock", [ "race"; "strict-dap"; "lost-update"; "write-skew" ]);
-    ("candidate", [ "race"; "lost-update"; "write-skew"; "torn-snapshot" ]);
-    ("tl2-clock", [ "race"; "strict-dap"; "of-stall" ]);
-    ("norec", [ "race"; "strict-dap"; "of-stall" ]);
+    ( "candidate",
+      [ "race"; "lost-update"; "write-skew"; "torn-snapshot"; "pwf" ] );
+    ("tl2-clock", [ "race"; "strict-dap"; "of-stall"; "pwf" ]);
+    ("norec", [ "race"; "strict-dap"; "of-stall"; "pwf" ]);
     ("llsc-candidate",
-     [ "lost-update"; "write-skew"; "torn-snapshot"; "of-stall" ]);
+     [ "lost-update"; "write-skew"; "torn-snapshot"; "of-stall"; "pwf" ]);
+    ("lp-progressive", [ "race"; "of-stall"; "pwf" ]);
+    ("pwf-readers", [ "race"; "strict-dap" ]);
   ]
 
 let expected_for = function

@@ -1,0 +1,432 @@
+(* The progress-guarantee passes [Kuznetsov & Ravi, "Progressive
+   Transactional Memory in Time and Space"; "On Partial Wait-Freedom in
+   Transactional Memory"].
+
+   Two detectors, one per paper:
+
+   - progressiveness — trace-level.  A progressive TM may forcibly abort
+     a transaction only over a read-write conflict with a concurrent
+     transaction, and must commit every transaction that runs without
+     step contention.  Arm (1) walks the history: for every TM-forced
+     abort it searches for an attribution — a concurrent transaction
+     whose (invoked or effective) data set intersects the victim's on an
+     item at least one of the two writes.  No attribution means the TM
+     invented the conflict.  Arm (2) re-reads the access log for the
+     complementary obligation: a transaction running step-contention-free
+     past the horizon without completing (a spinning commit is just as
+     much a progressiveness violation as an unattributable abort).
+
+   - pwf (partial wait-freedom) — probe-driven, like figure-consistency:
+     the input only names a TM, which is then replayed against scripted
+     branch scans.  Probe (a) suspends a conflicting writer at every
+     depth of its solo run and requires the read-only transaction to
+     commit solo — a TM that forcibly aborts an uncontended read-only
+     transaction, aborts it over a passive suspended writer, or stalls
+     it, is not partially wait-free.  Probe (b) runs reader vs updater
+     under fair round-robin contention: any read-only abort refutes the
+     wait-freedom of readers.  The per-role classification (read-only
+     vs updating transactions, each wait-free / lock-free /
+     obstruction-free / blocking) is emitted as an always-expected Info
+     finding, with the updater side delegated to the
+     {!Tm_probe.Liveness_class} adversaries. *)
+
+open Tm_base
+open Tm_trace
+open Tm_impl
+open Tm_runtime
+open Lint
+
+let cap (cfg : config) findings =
+  if List.length findings <= cfg.max_findings then findings
+  else
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    take cfg.max_findings findings
+
+(* ------------------------------------------------------------------ *)
+(* progressiveness *)
+
+(* write-intent items of [tid]: invoked writes (even those answered with
+   A_T) plus the history's effective write set *)
+let write_intent (h : History.t) tid : Item.Set.t =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Event.Inv { tid = t; op = Event.Write (x, _); _ }
+        when Tid.equal t tid ->
+          Item.Set.add x acc
+      | _ -> acc)
+    (History.write_set h tid)
+    (History.to_list h)
+
+(* was the abort requested by the client's own abort_T call? *)
+let client_aborted (h : History.t) tid =
+  List.exists
+    (fun ev ->
+      match ev with
+      | Event.Inv { tid = t; op = Event.Abort_call; _ } -> Tid.equal t tid
+      | _ -> false)
+    (History.to_list h)
+
+let abort_stamp (h : History.t) tid =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Event.Resp { tid = t; resp = Event.R_aborted; at; _ }
+        when Tid.equal t tid ->
+          Some at
+      | _ -> acc)
+    None (History.to_list h)
+
+let progressiveness_run (cfg : config) (i : input) : finding list =
+  let h = i.history in
+  let data_sets = effective_data_sets i in
+  let data_of tid =
+    Option.value ~default:Item.Set.empty (List.assoc_opt tid data_sets)
+  in
+  (* arm 1: every TM-forced abort needs a conflicting concurrent txn *)
+  let unattributed =
+    List.filter_map
+      (fun tid ->
+        if not (History.aborted h tid) || client_aborted h tid then None
+        else begin
+          let mine = data_of tid and my_writes = write_intent h tid in
+          let attribution =
+            List.find_opt
+              (fun other ->
+                (not (Tid.equal other tid))
+                && History.concurrent h tid other
+                &&
+                let shared = Item.Set.inter mine (data_of other) in
+                (not (Item.Set.is_empty shared))
+                && not
+                     (Item.Set.is_empty
+                        (Item.Set.inter shared
+                           (Item.Set.union my_writes
+                              (write_intent h other)))))
+              (History.txns h)
+          in
+          match attribution with
+          | Some _ -> None
+          | None ->
+              let interval =
+                match History.positions_of_txn h tid with
+                | Some (f, l) ->
+                    [ Event.at (History.get h f); Event.at (History.get h l) ]
+                | None -> []
+              in
+              Some
+                {
+                  pass = "progressiveness";
+                  severity = Error;
+                  step = abort_stamp h tid;
+                  txns = [ tid ];
+                  oids = [];
+                  witness_steps = interval;
+                  message =
+                    Printf.sprintf
+                      "%s was forcibly aborted with no read-write conflict \
+                       against any concurrent transaction: a progressive TM \
+                       may abort only over such a conflict"
+                      (Tid.name tid);
+                }
+        end)
+      (History.txns h)
+  in
+  (* arm 2: a step-contention-free run past the horizon without
+     completing — the commit obligation of progressiveness *)
+  let completion : (Tid.t, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Resp { tid; resp = Event.R_committed | Event.R_aborted; at; _ }
+        ->
+          Hashtbl.replace completion tid at
+      | _ -> ())
+    (History.to_list h);
+  let stalls = ref [] in
+  let flagged : (Tid.t, unit) Hashtbl.t = Hashtbl.create 4 in
+  let cur : (Tid.t * int * int) option ref = ref None in
+  List.iter
+    (fun (e : Access_log.entry) ->
+      let continue_run t first len =
+        let len = len + 1 in
+        if len > cfg.horizon && not (Hashtbl.mem flagged t) then begin
+          Hashtbl.add flagged t ();
+          stalls :=
+            {
+              pass = "progressiveness";
+              severity = Error;
+              step = Some e.Access_log.index;
+              txns = [ t ];
+              oids = [];
+              witness_steps = [ first; e.Access_log.index ];
+              message =
+                Printf.sprintf
+                  "%s has run %d steps step-contention-free (since step %d) \
+                   without committing: a progressive TM must commit every \
+                   step-contention-free transaction (horizon %d)"
+                  (Tid.name t) len first cfg.horizon;
+            }
+            :: !stalls
+        end;
+        cur := Some (t, first, len)
+      in
+      match (e.Access_log.tid, !cur) with
+      | Some t, Some (t', first, len)
+        when Tid.equal t t' && not (Hashtbl.mem completion t) ->
+          continue_run t first len
+      | Some t, _ when not (Hashtbl.mem completion t) ->
+          continue_run t e.Access_log.index 0
+      | _ -> cur := None)
+    i.log;
+  cap cfg (unattributed @ List.rev !stalls)
+
+let progressiveness : pass =
+  {
+    name = "progressiveness";
+    describe =
+      "a forced abort with no read-write conflict against a concurrent \
+       transaction, or a step-contention-free run past the horizon \
+       without committing";
+    paper = "Kuznetsov-Ravi, Progressive TM in Time and Space";
+    run = progressiveness_run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* pwf: the partial-wait-freedom probes *)
+
+let x_item = Item.v "x"
+let y_item = Item.v "y"
+
+let spec tid pid reads writes =
+  {
+    Static_txn.tid = Tid.v tid;
+    pid;
+    reads;
+    writes = List.map (fun (i, v) -> (i, Value.int v)) writes;
+  }
+
+let static_setup impl specs outcomes : Sim.setup =
+ fun mem recorder ->
+  let handle =
+    Txn_api.instantiate impl mem recorder ~items:(Static_txn.items_of specs)
+  in
+  List.map
+    (fun s -> (s.Static_txn.pid, Static_txn.program handle s ~outcomes))
+    specs
+
+type reader_outcome =
+  | Reader_wait_free
+  | Reader_aborts of int  (** suspension depth of the passive writer *)
+  | Reader_stalls of int
+
+(* probe (a): branch scan over writer suspension depths.  The writer
+   (writes x and y) is paused after its k-th solo step for every k, and
+   the read-only transaction (reads x then y) must then commit running
+   solo.  k = 0 is the fully uncontended case. *)
+let reader_scan (cfg : config) impl : reader_outcome =
+  let writer = spec 21 21 [] [ (x_item, 7); (y_item, 7) ]
+  and reader = spec 23 23 [ x_item; y_item ] [] in
+  let specs = [ writer; reader ] in
+  let solo_outcomes = Hashtbl.create 4 in
+  let solo =
+    Sim.replay ~budget:5_000
+      (static_setup impl specs solo_outcomes)
+      [ Schedule.Until_done 21 ]
+  in
+  let n = solo.Sim.steps_of 21 in
+  let budget = 3 * cfg.horizon in
+  let rec go k =
+    if k > n then Reader_wait_free
+    else begin
+      let outcomes = Hashtbl.create 4 in
+      let r =
+        Sim.replay ~budget
+          (static_setup impl specs outcomes)
+          [ Schedule.Steps (21, k); Schedule.Steps (23, budget) ]
+      in
+      ignore r;
+      match Hashtbl.find_opt outcomes (Tid.v 23) with
+      | Some o when o.Static_txn.status = Static_txn.Committed -> go (k + 1)
+      | Some o when o.Static_txn.status = Static_txn.Aborted ->
+          Reader_aborts k
+      | _ -> Reader_stalls k
+    end
+  in
+  go 0
+
+(* probe (b): reader vs updater under fair round-robin contention; count
+   the read-only aborts.  Bounded and deterministic. *)
+let reader_client (handle : Txn_api.handle) ~pid ~committed () =
+  let rec attempt n =
+    if !committed >= 20 then ()
+    else begin
+      let tid = Tid.v ((pid * 1000) + n) in
+      let txn = handle.Txn_api.begin_txn ~pid ~tid in
+      let result : (unit, unit) result =
+        match txn.Txn_api.read x_item with
+        | Stdlib.Error () -> Stdlib.Error ()
+        | Ok _ -> (
+            match txn.Txn_api.read y_item with
+            | Stdlib.Error () -> Stdlib.Error ()
+            | Ok _ -> txn.Txn_api.try_commit ())
+      in
+      (match result with Ok () -> incr committed | Stdlib.Error () -> ());
+      attempt (n + 1)
+    end
+  in
+  attempt 0
+
+let updater_client (handle : Txn_api.handle) ~pid ~committed () =
+  let rec attempt n =
+    if !committed >= 20 then ()
+    else begin
+      let tid = Tid.v ((pid * 1000) + n) in
+      let txn = handle.Txn_api.begin_txn ~pid ~tid in
+      let result : (unit, unit) result =
+        match txn.Txn_api.write x_item (Value.int n) with
+        | Stdlib.Error () -> Stdlib.Error ()
+        | Ok () -> (
+            match txn.Txn_api.write y_item (Value.int n) with
+            | Stdlib.Error () -> Stdlib.Error ()
+            | Ok () -> txn.Txn_api.try_commit ())
+      in
+      (match result with Ok () -> incr committed | Stdlib.Error () -> ());
+      attempt (n + 1)
+    end
+  in
+  attempt 0
+
+let reader_aborts_under_contention impl : int =
+  let rc = ref 0 and uc = ref 0 in
+  let mem = Memory.create () in
+  let recorder = Recorder.create () in
+  let handle =
+    Txn_api.instantiate impl mem recorder ~items:[ x_item; y_item ]
+  in
+  let sched = Scheduler.create mem in
+  Scheduler.spawn sched ~pid:1 (reader_client handle ~pid:1 ~committed:rc);
+  Scheduler.spawn sched ~pid:2 (updater_client handle ~pid:2 ~committed:uc);
+  let steps = ref 0 in
+  while
+    !steps < 5_000
+    && not (Scheduler.finished sched 1 && Scheduler.finished sched 2)
+  do
+    List.iter
+      (fun pid ->
+        if not (Scheduler.finished sched pid) then begin
+          ignore (Scheduler.step sched pid);
+          incr steps
+        end)
+      [ 1; 2 ]
+  done;
+  let h = Recorder.history recorder in
+  List.length
+    (List.filter
+       (fun t -> Tid.to_int t < 2000 && History.aborted h t)
+       (History.txns h))
+
+let finding ?step ?(txns = []) ?(witness = []) ~severity message =
+  {
+    pass = "pwf";
+    severity;
+    step;
+    txns;
+    oids = [];
+    witness_steps = witness;
+    message;
+  }
+
+let check (cfg : config) (impl : Tm_intf.impl) : finding list =
+  let module M = (val impl : Tm_intf.S) in
+  let scan = reader_scan cfg impl in
+  let scan_findings =
+    match scan with
+    | Reader_wait_free -> []
+    | Reader_aborts 0 ->
+        [
+          finding ~severity:Error ~step:0 ~txns:[ Tid.v 23 ] ~witness:[ 0 ]
+            (Printf.sprintf
+               "%s forcibly aborts an uncontended read-only transaction: \
+                partial wait-freedom requires invisible read-only \
+                transactions to commit"
+               M.name);
+        ]
+    | Reader_aborts k ->
+        [
+          finding ~severity:Error ~step:k ~txns:[ Tid.v 23 ] ~witness:[ k ]
+            (Printf.sprintf
+               "a read-only transaction aborts although the conflicting \
+                writer is suspended after step %d and takes no further \
+                steps: read-only transactions are not wait-free on %s"
+               k M.name);
+        ]
+    | Reader_stalls k ->
+        [
+          finding ~severity:Error ~step:k ~txns:[ Tid.v 23 ] ~witness:[ k ]
+            (Printf.sprintf
+               "a read-only transaction cannot complete solo while the \
+                conflicting writer is suspended after step %d (ran %d \
+                steps): read-only transactions block on %s"
+               k (3 * cfg.horizon) M.name);
+        ]
+  in
+  let contention_aborts = reader_aborts_under_contention impl in
+  let contention_findings =
+    if contention_aborts = 0 || scan <> Reader_wait_free then []
+      (* when the branch scan already refuted reader wait-freedom, the
+         contention count is the same defect observed twice *)
+    else
+      [
+        finding ~severity:Error ~txns:[]
+          (Printf.sprintf
+             "read-only transactions aborted %d time(s) under fair \
+              round-robin contention with an updater: reads are visible \
+              or revocable, so readers are not wait-free on %s"
+             contention_aborts M.name);
+      ]
+  in
+  let readers_class =
+    match scan with
+    | Reader_wait_free when contention_aborts = 0 -> "wait-free"
+    | Reader_wait_free ->
+        Printf.sprintf "aborting under contention (%d aborts)"
+          contention_aborts
+    | Reader_aborts k -> Printf.sprintf "aborting (writer paused at %d)" k
+    | Reader_stalls k -> Printf.sprintf "blocking (writer paused at %d)" k
+  in
+  let updaters = Tm_probe.Liveness_class.classify impl in
+  [
+    finding ~severity:Info
+      (Printf.sprintf
+         "partial-wait-freedom classification for %s: read-only %s, \
+          updaters %s"
+         M.name readers_class
+         (Tm_probe.Liveness_class.cls_to_string
+            updaters.Tm_probe.Liveness_class.cls));
+  ]
+  @ scan_findings @ contention_findings
+
+let pwf_run (cfg : config) (i : input) : finding list =
+  match i.tm with
+  | None -> []
+  | Some name -> (
+      match Registry.find name with
+      | None -> []
+      | Some impl -> check cfg impl)
+
+let pwf : pass =
+  {
+    name = "pwf";
+    describe =
+      "read-only transactions that abort or stall uncontended, under a \
+       suspended writer, or under fair contention — with a per-role \
+       wait-free / lock-free / obstruction-free / blocking classification";
+    paper = "Kuznetsov-Ravi, On Partial Wait-Freedom in TM";
+    run = pwf_run;
+  }
+
+let passes = [ progressiveness; pwf ]

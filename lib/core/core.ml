@@ -94,6 +94,8 @@ module Candidate_tm = Tm_impl.Candidate_tm
 module Tl2_tm = Tm_impl.Tl2_tm
 module Norec_tm = Tm_impl.Norec_tm
 module Llsc_tm = Tm_impl.Llsc_tm
+module Lp_tm = Tm_impl.Lp_tm
+module Pwf_tm = Tm_impl.Pwf_tm
 module Registry = Tm_impl.Registry
 
 (* universal constructions *)
@@ -113,6 +115,7 @@ module Vclock = Tm_analysis.Vclock
 module Hb = Tm_analysis.Hb
 module Lint = Tm_analysis.Lint
 module Lint_passes = Tm_analysis.Passes
+module Progress_lint = Tm_analysis.Progress_lint
 module Figure_lint = Tm_analysis.Figure_lint
 module Lints = Tm_analysis.Lints
 

@@ -185,6 +185,14 @@ let table : expect list =
     e "tl2-clock" "rmw" NonZero;
     e "norec" "rmw" NonZero;
     e "llsc-candidate" "rmw" NonZero;
+    (* lp-progressive resolves every conflict by aborting self at
+       encounter time: CAS-acquired locators are RMW-class and the
+       aborted attempts are wasted work — the progressive tax *)
+    e "lp-progressive" "rmw" NonZero;
+    e "lp-progressive" "wasted" NonZero;
+    (* pwf-readers: one CAS per updater commit on the snapshot root;
+       read-only transactions take no RMW-class step at all *)
+    e "pwf-readers" "rmw" NonZero;
   ]
 
 (** Violations of the expected-cost table plus the universal cost laws

@@ -51,6 +51,14 @@ type t =
       txns : int;  (* transactions committed before the wedge *)
       target : int;  (* the soak's transaction target *)
     }
+  | Progress_violation of {
+      tm : string option;  (* TM under lint, when the target names one *)
+      pass : string;  (* offending detector: progressiveness | pwf *)
+      pid : int option;  (* process of the offending transaction *)
+      txn : int option;  (* offending transaction id *)
+      witness_step : int option;  (* step-level witness (stamp or depth) *)
+      unexpected : int;  (* all unexpected findings of the lint run *)
+    }
 
 exception Exit_reason of t
 
@@ -66,6 +74,7 @@ let code = function
   | Stall _ -> "PCL-E106"
   | Cost_expectation _ -> "PCL-E107"
   | Soak_stall _ -> "PCL-E108"
+  | Progress_violation _ -> "PCL-E109"
 
 (* code -> one-line meaning; the docs reason-code table mirrors this *)
 let catalogue =
@@ -83,6 +92,8 @@ let catalogue =
     ("PCL-E107", "cost matrix violated the expected-cost table");
     ("PCL-E108", "soak stalled: segment budget exhausted before the \
                   transaction target");
+    ("PCL-E109", "lint found a progress-guarantee violation \
+                  (progressiveness or partial wait-freedom)");
   ]
 
 let message r =
@@ -124,6 +135,16 @@ let message r =
             "soak of %s stalled: p%d wedged; its last step was #%d \
              (%d of %d txns)"
             tm pid i txns target)
+  | Progress_violation { tm; pass; txn; witness_step; _ } ->
+      Printf.sprintf "%s violated by %s%s%s"
+        (if pass = "pwf" then "partial wait-freedom" else pass)
+        (Option.value ~default:"the trace" tm)
+        (match txn with
+        | Some t -> Printf.sprintf " (txn %d)" t
+        | None -> "")
+        (match witness_step with
+        | Some s -> Printf.sprintf ", witness step %d" s
+        | None -> "")
 
 let strings ss = Obs_json.List (List.map (fun s -> Obs_json.String s) ss)
 
@@ -187,6 +208,17 @@ let payload : t -> (string * Obs_json.t) list = function
       @ opt "object" (fun s -> Obs_json.String s) obj
       @ opt "prim" (fun s -> Obs_json.String s) prim
       @ [ ("txns", Obs_json.Int txns); ("target", Obs_json.Int target) ]
+  | Progress_violation { tm; pass; pid; txn; witness_step; unexpected } ->
+      let opt name f = function
+        | None -> [ (name, Obs_json.Null) ]
+        | Some v -> [ (name, f v) ]
+      in
+      opt "tm" (fun s -> Obs_json.String s) tm
+      @ [ ("pass", Obs_json.String pass) ]
+      @ opt "pid" (fun i -> Obs_json.Int i) pid
+      @ opt "txn" (fun i -> Obs_json.Int i) txn
+      @ opt "witness_step" (fun i -> Obs_json.Int i) witness_step
+      @ [ ("unexpected", Obs_json.Int unexpected) ]
 
 let to_json r =
   Obs_json.Obj

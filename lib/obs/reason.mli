@@ -50,6 +50,14 @@ type t =
       txns : int;
       target : int;
     }  (** PCL-E108 *)
+  | Progress_violation of {
+      tm : string option;
+      pass : string;
+      pid : int option;
+      txn : int option;
+      witness_step : int option;
+      unexpected : int;
+    }  (** PCL-E109 *)
 
 exception Exit_reason of t
 

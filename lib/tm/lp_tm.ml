@@ -1,0 +1,161 @@
+(* LP-style progressive TM [Kuznetsov & Ravi, "Progressive Transactional
+   Memory in Time and Space"] — the corner that weakens liveness only as
+   far as *progressiveness*: a transaction may be aborted only on a
+   read-write conflict with a concurrent transaction, so every
+   step-contention-free transaction commits.
+
+     Parallelism: strict DAP — only per-item locator objects are touched.
+     Consistency: opaque (incremental read-set validation on every read
+                  plus commit-time validation; an abort is the only
+                  possible answer to interference, never an inconsistent
+                  view).
+     Liveness:    progressive, but NOT obstruction-free — a suspended
+                  lock holder forces conflicting transactions to abort
+                  themselves forever (the of-stall "uncontended abort"
+                  arm fires by design: the aborts are attributable to the
+                  conflicting *transaction*, not to step contention).
+
+   Per item x one locator [loc:x] = VList [VInt owner; VInt ver; value],
+   owner = -1 when unlocked.  Writers acquire the lock at encounter time
+   with a CAS on the locator itself (so readers can observe lock state and
+   lock acquisition is one atomic step); conflict — a held lock, a CAS
+   lost to an interfering step, or a version moved under a read — always
+   means "abort self", never "wait".  The per-read revalidation of the
+   whole read set is the time cost the paper proves inherent: progressive
+   TMs with invisible reads must do incremental validation. *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "lp-progressive"
+
+let describe =
+  "strict DAP + opaque, progressive: conflict => abort self (weakens L)"
+
+type t = { loc_of : Item.t -> Oid.t }
+
+let unlocked = -1
+
+let cell ~owner ~ver v = Value.list [ Value.int owner; Value.int ver; v ]
+
+let decode = function
+  | Value.VList [ Value.VInt owner; Value.VInt ver; v ] -> (owner, ver, v)
+  | _ -> invalid_arg "lp: bad locator"
+
+let create mem ~items =
+  let locs = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace locs x
+        (Memory.alloc mem
+           ~name:("loc:" ^ Item.name x)
+           (cell ~owner:unlocked ~ver:0 Value.initial)))
+    items;
+  { loc_of = (fun x -> Hashtbl.find locs x) }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  mutable rset : (Item.t * int) list;  (* item, version at first read *)
+  mutable wset : (Item.t * Value.t) list;  (* newest binding first *)
+  mutable locked : (Item.t * (int * Value.t)) list;
+      (* items whose locator we hold, with the (version, value) to restore
+         on abort *)
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid =
+  { t; pid; tid; rset = []; wset = []; locked = []; dead = false }
+
+let read_loc c x = decode (Proc.read ~tid:c.tid (c.t.loc_of x))
+
+(* abort self: restore every held locator to its pre-lock (version, value)
+   — the version is unchanged, so reads made before we locked stay valid *)
+let self_abort c =
+  List.iter
+    (fun (x, (ver, v)) ->
+      Proc.write ~tid:c.tid (c.t.loc_of x) (cell ~owner:unlocked ~ver v))
+    c.locked;
+  c.locked <- [];
+  c.dead <- true
+
+(* incremental validation: every previously read, still-unlocked item must
+   be unlocked at its recorded version.  Items we hold the lock on cannot
+   move under us and are skipped. *)
+let validate c =
+  List.for_all
+    (fun (x, ver0) ->
+      List.mem_assoc x c.locked
+      ||
+      let owner, ver, _ = read_loc c x in
+      owner = unlocked && ver = ver0)
+    c.rset
+
+let conflict c =
+  self_abort c;
+  Error ()
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let owner, ver, v = read_loc c x in
+        if owner <> unlocked then conflict c (* locked by a concurrent txn *)
+        else if
+          match List.assoc_opt x c.rset with
+          | Some ver0 -> ver <> ver0
+          | None -> false
+        then conflict c (* the item moved between our reads *)
+        else if not (validate c) then conflict c
+        else begin
+          if not (List.mem_assoc x c.rset) then c.rset <- (x, ver) :: c.rset;
+          Ok v
+        end
+
+let write c x v =
+  if c.dead then Error ()
+  else if List.mem_assoc x c.locked then begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+  else
+    let owner, ver, cur = read_loc c x in
+    if owner <> unlocked then conflict c
+    else if
+      match List.assoc_opt x c.rset with
+      | Some ver0 -> ver <> ver0
+      | None -> false
+    then conflict c
+    else if
+      not
+        (Proc.cas ~tid:c.tid (c.t.loc_of x)
+           ~expected:(cell ~owner:unlocked ~ver cur)
+           ~desired:(cell ~owner:c.pid ~ver cur))
+    then conflict c (* an interfering step took the locator first *)
+    else begin
+      c.locked <- (x, (ver, cur)) :: c.locked;
+      c.wset <- (x, v) :: List.remove_assoc x c.wset;
+      Ok ()
+    end
+
+let try_commit c =
+  if c.dead then Error ()
+  else if not (validate c) then conflict c
+  else begin
+    (* publish + unlock in one atomic step per item, in item order *)
+    List.iter
+      (fun x ->
+        let ver, _ = List.assoc x c.locked in
+        let v = List.assoc x c.wset in
+        Proc.write ~tid:c.tid (c.t.loc_of x)
+          (cell ~owner:unlocked ~ver:(ver + 1) v))
+      (List.sort Item.compare (List.map fst c.locked));
+    c.locked <- [];
+    c.dead <- true;
+    Ok ()
+  end
+
+let abort c = if not c.dead then self_abort c

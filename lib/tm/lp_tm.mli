@@ -1,0 +1,11 @@
+(** LP-style progressive TM [Kuznetsov & Ravi, "Progressive Transactional
+    Memory in Time and Space"] — liveness weakened only as far as
+    {e progressiveness}: strict DAP, opaque (incremental read-set
+    validation), and every abort attributable to a conflict with a
+    concurrent transaction.  Writers acquire per-item locators with an
+    encounter-time CAS; a held locator, a lost CAS or a moved version
+    always answers "abort self", never "wait" — so a suspended lock
+    holder forces conflicting transactions to abort forever, which is
+    progressive but deliberately not obstruction-free. *)
+
+include Tm_intf.S

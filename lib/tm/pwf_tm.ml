@@ -1,0 +1,144 @@
+(* Partially wait-free TM [Kuznetsov & Ravi, "On Partial Wait-Freedom in
+   Transactional Memory"] — the corner that keeps consistency and buys
+   *partial* wait-freedom by giving up parallelism entirely:
+
+     Parallelism: no DAP at all — the whole committed state lives behind
+                  ONE root object, so even fully disjoint transactions
+                  contend on it (the strongest possible strict-dap tax).
+     Consistency: strictly serializable and opaque — a reader's snapshot
+                  is one atomic root load; an updater's validate+publish
+                  is one atomic root CAS.
+     Liveness:    partially wait-free — read-only transactions are
+                  wait-free with a *constant* step bound (exactly one
+                  shared step: the snapshot load at begin; reads and the
+                  commit of a read-only transaction take no shared steps
+                  and can never abort or block).  Updaters are lock-free:
+                  the commit CAS fails only because a concurrent
+                  transaction committed, and an abort is only ever the
+                  answer to a read-write conflict with a concurrent
+                  committed writer — so updaters are progressive too, but
+                  an individual updater may starve under a stream of
+                  conflicting commits.
+
+   [root] = VPair (VInt ts, VList per-item VPair (VInt ts_x, value)),
+   indexed by the item's position in the [create]-time item list.  The
+   per-item timestamps are what make the snapshot "versioned": an
+   updater's validation compares the current timestamp of every item it
+   read against its snapshot's, so an abort names the exact items a
+   concurrent commit moved. *)
+
+open Tm_base
+open Tm_runtime
+
+let name = "pwf-readers"
+
+let describe =
+  "wait-free read-only txns + lock-free updaters, opaque, no DAP (weakens P)"
+
+type t = { root : Oid.t; index_of : Item.t -> int }
+
+let entry ~ts v = Value.pair (Value.int ts) v
+
+let decode_entry = function
+  | Value.VPair (Value.VInt ts, v) -> (ts, v)
+  | _ -> invalid_arg "pwf: bad snapshot entry"
+
+let decode = function
+  | Value.VPair (Value.VInt ts, Value.VList entries) ->
+      (ts, List.map decode_entry entries)
+  | _ -> invalid_arg "pwf: bad snapshot root"
+
+let create mem ~items =
+  let store0 = Value.list (List.map (fun _ -> entry ~ts:0 Value.initial) items) in
+  let root = Memory.alloc mem ~name:"root" (Value.pair (Value.int 0) store0) in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace index x i) items;
+  { root; index_of = (fun x -> Hashtbl.find index x) }
+
+type ctx = {
+  t : t;
+  pid : int;
+  tid : Tid.t;
+  snap_root : Value.t;  (* the raw root value loaded at begin *)
+  snap : (int * Value.t) list;  (* decoded per-item (ts, value) *)
+  mutable rset : Item.t list;  (* items read from the snapshot *)
+  mutable wset : (Item.t * Value.t) list;  (* newest binding first *)
+  mutable dead : bool;
+}
+
+let begin_txn t ~pid ~tid =
+  let snap_root = Proc.read ~tid t.root in
+  let _, snap = decode snap_root in
+  { t; pid; tid; snap_root; snap; rset = []; wset = []; dead = false }
+
+let read c x =
+  if c.dead then Error ()
+  else
+    match List.assoc_opt x c.wset with
+    | Some v -> Ok v
+    | None ->
+        let _, v = List.nth c.snap (c.t.index_of x) in
+        if not (List.mem x c.rset) then c.rset <- x :: c.rset;
+        Ok v
+
+let write c x v =
+  if c.dead then Error ()
+  else begin
+    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    Ok ()
+  end
+
+let try_commit c =
+  if c.dead then Error ()
+  else if c.wset = [] then begin
+    (* read-only: the snapshot was consistent at begin, commit is free *)
+    c.dead <- true;
+    Ok ()
+  end
+  else begin
+    let writes =
+      List.map (fun (x, v) -> (c.t.index_of x, v)) c.wset
+    in
+    let read_idx = List.map c.t.index_of c.rset in
+    let snap_ts_at i = fst (List.nth c.snap i) in
+    (* the first attempt CASes against the begin-time snapshot itself, so
+       an uncontended updater commits without re-reading the root *)
+    let rec attempt cur_root =
+      let cur_ts, cur = decode cur_root in
+      let valid =
+        List.for_all (fun i -> fst (List.nth cur i) = snap_ts_at i) read_idx
+      in
+      if not valid then begin
+        (* a concurrent transaction committed a newer version of an item
+           we read: the one abort cause this TM admits *)
+        c.dead <- true;
+        Error ()
+      end
+      else begin
+        let ts' = cur_ts + 1 in
+        let store' =
+          Value.list
+            (List.mapi
+               (fun i e ->
+                 match List.assoc_opt i writes with
+                 | Some v -> entry ~ts:ts' v
+                 | None -> entry ~ts:(fst e) (snd e))
+               cur)
+        in
+        if
+          Proc.cas ~tid:c.tid c.t.root ~expected:cur_root
+            ~desired:(Value.pair (Value.int ts') store')
+        then begin
+          c.dead <- true;
+          Ok ()
+        end
+        else
+          (* the CAS lost to another commit: lock-free retry — the failed
+             attempt witnesses system-wide progress *)
+          attempt (Proc.read ~tid:c.tid c.t.root)
+      end
+    in
+    attempt c.snap_root
+  end
+
+let abort c = c.dead <- true

@@ -1,0 +1,10 @@
+(** Partially wait-free TM [Kuznetsov & Ravi, "On Partial Wait-Freedom in
+    Transactional Memory"] — read-only transactions are wait-free with a
+    constant step bound (one shared load: the versioned snapshot root at
+    begin) and updaters are lock-free (one validate+publish CAS on the
+    root, failing only to a concurrent commit).  The price is
+    parallelism: the whole committed state lives behind one base object,
+    so even disjoint transactions contend — the strongest strict-DAP
+    tax. *)
+
+include Tm_intf.S

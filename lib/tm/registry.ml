@@ -11,6 +11,8 @@ let all : Tm_intf.impl list =
     (module Tl2_tm);
     (module Norec_tm);
     (module Llsc_tm);
+    (module Lp_tm);
+    (module Pwf_tm);
   ]
 
 let name (module M : Tm_intf.S) = M.name

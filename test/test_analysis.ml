@@ -220,6 +220,162 @@ let test_serial_clean () =
     [ "tl-lock"; "candidate"; "si-clock"; "llsc-candidate" ]
 
 (* ------------------------------------------------------------------ *)
+(* the progress-guarantee passes *)
+
+let progressiveness_fires h =
+  fired [ Progress_lint.progressiveness ] (input_of_history h)
+
+let test_progressiveness_pos_neg () =
+  let open Build in
+  (* positive: a solo transaction forcibly aborted at commit — there is
+     no concurrent transaction to attribute the conflict to *)
+  Alcotest.(check (list string))
+    "unattributable forced abort trips the pass" [ "progressiveness" ]
+    (progressiveness_fires (Build.history [ B (1, 1); R (1, "x", 0); Ca 1 ]));
+  (* negative: the same abort with a concurrent conflicting writer is
+     the TM exercising its progressive right *)
+  Alcotest.(check (list string))
+    "attributable abort is clean" []
+    (progressiveness_fires
+       (Build.history
+          [ B (1, 1); B (2, 2); R (1, "x", 0); W (2, "x", 2); Ca 1; C 2 ]));
+  (* negative: a client-requested abort is never the TM's fault *)
+  Alcotest.(check (list string))
+    "client abort is clean" []
+    (progressiveness_fires (Build.history [ B (1, 1); R (1, "x", 0); A 1 ]))
+
+(* a live workload run, recorded the way `pcl_tm lint' records it *)
+let workload_input name =
+  let impl = Registry.find_exn name in
+  let fl = Flight.create () in
+  Flight.with_recorder fl (fun () ->
+      ignore
+        (Workload.run impl
+           {
+             Workload.default with
+             Workload.conflict_pct = 50;
+             txns_per_proc = 10;
+           }));
+  { (Lint.input_of_flight fl) with Lint.tm = Some name }
+
+let test_progressiveness_new_tms_clean () =
+  (* the two new corners hold the guarantee they claim: every forced
+     abort in a live contended run is attributable *)
+  List.iter
+    (fun name ->
+      Alcotest.(check (list string))
+        (name ^ " pays no progressiveness tax")
+        []
+        (fired [ Progress_lint.progressiveness ] (workload_input name)))
+    [ "lp-progressive"; "pwf-readers" ]
+
+let test_progressiveness_stall () =
+  (* arm 2 positive: pause tl-lock's writer mid-commit and let the
+     reader run solo for three horizons — it spins step-contention-free
+     on the global lock without ever committing *)
+  let impl = Registry.find_exn "tl-lock" in
+  let solo = 3 * Lint.default.Lint.horizon in
+  let rec scan k =
+    if k > 40 (* Figure_lint's max_pause_depth *) then []
+    else
+      match
+        fired
+          [ Progress_lint.progressiveness ]
+          (input_of_run ~tm:"tl-lock" impl
+             [ Schedule.Steps (1, k); Schedule.Steps (3, solo) ])
+      with
+      | [] -> scan (k + 1)
+      | fs -> fs
+  in
+  Alcotest.(check (list string))
+    "a paused lock holder breaks tl-lock's commit obligation"
+    [ "progressiveness" ] (scan 1)
+
+let test_pwf_reader_scan () =
+  let scan name =
+    Progress_lint.reader_scan Lint.default (Registry.find_exn name)
+  in
+  (match scan "tl-lock" with
+  | Progress_lint.Reader_stalls _ -> ()
+  | _ -> Alcotest.fail "tl-lock must block the reader on a suspended writer");
+  (match scan "lp-progressive" with
+  | Progress_lint.Reader_aborts k when k > 0 -> ()
+  | _ ->
+      Alcotest.fail
+        "lp-progressive must abort the reader over a suspended writer's \
+         lock");
+  List.iter
+    (fun name ->
+      match scan name with
+      | Progress_lint.Reader_wait_free -> ()
+      | _ -> Alcotest.failf "%s readers should pass the branch scan" name)
+    [ "pwf-readers"; "si-clock"; "pram-local" ];
+  Alcotest.(check int)
+    "pwf-readers: no read-only aborts under fair contention" 0
+    (Progress_lint.reader_aborts_under_contention
+       (Registry.find_exn "pwf-readers"))
+
+let test_pram_wait_free_but_inconsistent () =
+  (* pram-local sits at the opposite corner of pwf-readers: its readers
+     are wait-free (the pwf pass reports only the Info classification)
+     while the expected-findings table charges it the full anomaly tax *)
+  let input =
+    { (input_of_history (History.of_list [])) with Lint.tm = Some "pram-local" }
+  in
+  (match (Lints.run_passes [ Progress_lint.pwf ] input).Lints.findings with
+  | [ f ] ->
+      Alcotest.(check bool) "only an Info finding" true
+        (f.Lint.severity = Lint.Info);
+      Alcotest.(check string) "classification pinned"
+        "partial-wait-freedom classification for pram-local: read-only \
+         wait-free, updaters wait-free"
+        f.Lint.message
+  | _ -> Alcotest.fail "expected exactly the Info classification");
+  Alcotest.(check (list string))
+    "pram-local's tax is consistency, not liveness"
+    [ "lost-update"; "race"; "torn-snapshot"; "write-skew" ]
+    (List.sort compare (Lints.expected_for (Some "pram-local")))
+
+(* the qcheck law: the progressiveness verdict over a TM's bounded
+   interleaving space does not depend on the exploration order — sleep-set
+   DPOR and the naive DFS agree on the set of finding messages *)
+let progressiveness_verdicts ~por impl =
+  let acc = ref [] in
+  let on_execution ~strongest:_ (r : Sim.result) =
+    let input =
+      {
+        Lint.log = r.Sim.log;
+        history = r.Sim.history;
+        name_of = Memory.name_of r.Sim.mem;
+        data_sets = Some Explore_sweep.data_sets;
+        tm = Some (Registry.name impl);
+        meta = [];
+      }
+    in
+    acc :=
+      List.map
+        (fun (f : Lint.finding) -> f.Lint.message)
+        (Lints.run_passes [ Progress_lint.progressiveness ] input)
+          .Lints.findings
+      @ !acc
+  in
+  ignore (Explore_sweep.run ~por ~on_execution impl);
+  List.sort_uniq compare !acc
+
+let progress_laws =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qtest "progressiveness verdicts invariant under DPOR" 10
+        (QCheck.make
+           ~print:(fun i -> Registry.name (List.nth Registry.all i))
+           (QCheck.Gen.int_bound (List.length Registry.all - 1)))
+        (fun i ->
+          let impl = List.nth Registry.all i in
+          progressiveness_verdicts ~por:true impl
+          = progressiveness_verdicts ~por:false impl);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* the figure-consistency pass *)
 
 let test_figure_expectations () =
@@ -374,6 +530,19 @@ let () =
           Alcotest.test_case "serial executions clean" `Quick
             test_serial_clean;
         ] );
+      ( "progress",
+        [
+          Alcotest.test_case "progressiveness pos/neg" `Quick
+            test_progressiveness_pos_neg;
+          Alcotest.test_case "new TMs progressiveness-clean" `Quick
+            test_progressiveness_new_tms_clean;
+          Alcotest.test_case "stalled commit obligation" `Quick
+            test_progressiveness_stall;
+          Alcotest.test_case "pwf reader scan" `Quick test_pwf_reader_scan;
+          Alcotest.test_case "pram-local wait-free but inconsistent" `Quick
+            test_pram_wait_free_but_inconsistent;
+        ] );
+      ("progress-laws", progress_laws);
       ( "figure-consistency",
         [
           Alcotest.test_case "expectations hold" `Slow

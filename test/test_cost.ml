@@ -170,6 +170,15 @@ let test_reason_catalogue () =
           txns = 0;
           target = 1;
         };
+      Reason.Progress_violation
+        {
+          tm = Some "tl-lock";
+          pass = "pwf";
+          pid = Some 1;
+          txn = Some 3;
+          witness_step = Some 2;
+          unexpected = 1;
+        };
     ]
   in
   Alcotest.(check int) "catalogue covers every constructor"
@@ -212,7 +221,15 @@ let test_cli_no_bare_exits () =
     String.iteri
       (fun i _ -> if contains_at i "Reason.Soak_stall" then found := true)
       src;
-    Alcotest.(check bool) "soak stall uses Reason.Soak_stall" true !found
+    Alcotest.(check bool) "soak stall uses Reason.Soak_stall" true !found;
+    (* and lint's progress-guarantee exit goes through PCL-E109 *)
+    let progress = ref false in
+    String.iteri
+      (fun i _ ->
+        if contains_at i "Reason.Progress_violation" then progress := true)
+      src;
+    Alcotest.(check bool)
+      "lint progress failures use Reason.Progress_violation" true !progress
   end
 
 let () =

@@ -187,11 +187,27 @@ let test_registry_lookup () =
   (match Registry.lookup "nope" with
   | Registry.Unknown -> ()
   | _ -> Alcotest.fail "expected Unknown for \"nope\"");
-  match Registry.find_exn "tl" with
+  (match Registry.find_exn "tl" with
   | exception Invalid_argument msg ->
       Alcotest.(check bool) "error names the candidates" true
         (contains ~sub:"tl-lock" msg && contains ~sub:"tl2-clock" msg)
-  | _ -> Alcotest.fail "expected Invalid_argument for ambiguous find_exn"
+  | _ -> Alcotest.fail "expected Invalid_argument for ambiguous find_exn");
+  (* the new TM corners made two more one-letter prefixes ambiguous; pin
+     the exact error text so shell-completion docs stay honest *)
+  (match Registry.find_exn "l" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "\"l\" ambiguity message"
+        "Registry.find_exn: \"l\" is ambiguous (matches llsc-candidate, \
+         lp-progressive)"
+        msg
+  | _ -> Alcotest.fail "expected Invalid_argument for \"l\"");
+  match Registry.find_exn "p" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "\"p\" ambiguity message"
+        "Registry.find_exn: \"p\" is ambiguous (matches pram-local, \
+         pwf-readers)"
+        msg
+  | _ -> Alcotest.fail "expected Invalid_argument for \"p\""
 
 (* ------------------------------------------------------------------ *)
 (* provenance: the unsat core of write-skew under serializability is the

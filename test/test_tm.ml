@@ -617,7 +617,7 @@ let atomically_tests =
         not
           (List.mem M.name
              [ "tl-lock"; "dstm"; "candidate"; "tl2-clock"; "norec";
-               "llsc-candidate" ])
+               "llsc-candidate"; "lp-progressive"; "pwf-readers" ])
       then None
       else
         Some
@@ -730,6 +730,150 @@ let llsc_tests =
   ]
 
 
+let lp_tests =
+  let impl = (module Lp_tm : Tm_intf.S) in
+  [
+    Alcotest.test_case "conflict aborts self, never the lock holder" `Quick
+      (fun () ->
+        (* T1 acquires x's try-lock at encounter time; T2's write then
+           sees the lock and aborts T2 itself — the progressive
+           contention policy *)
+        let specs =
+          [ spec 1 1 [] [ (x, 1) ]; spec 2 2 [] [ (x, 2) ] ]
+        in
+        let _, outcomes =
+          run impl specs
+            [ Schedule.Steps (1, 2) (* locator read + lock CAS *);
+              Schedule.Until_done 2; Schedule.Until_done 1 ]
+        in
+        check "T2 aborted itself" true
+          (status outcomes 2 = Static_txn.Aborted);
+        check "the lock holder committed" true
+          (status outcomes 1 = Static_txn.Committed));
+    Alcotest.test_case "a reader observing a locked item aborts" `Quick
+      (fun () ->
+        let specs =
+          [ spec 1 1 [] [ (x, 1) ]; spec 2 2 [ x ] [] ]
+        in
+        let _, outcomes =
+          run impl specs
+            [ Schedule.Steps (1, 2); Schedule.Until_done 2;
+              Schedule.Until_done 1 ]
+        in
+        check "reader aborted" true (status outcomes 2 = Static_txn.Aborted);
+        check "writer committed" true
+          (status outcomes 1 = Static_txn.Committed));
+    Alcotest.test_case "a conflict abort releases acquired locks" `Quick
+      (fun () ->
+        (* T1 locks x, then hits T2's lock on y and self-aborts; x must
+           be unlocked again for T3 *)
+        let specs =
+          [ spec 1 1 [] [ (x, 1); (y, 1) ]; spec 2 2 [] [ (y, 2) ];
+            spec 3 3 [] [ (x, 3) ] ]
+        in
+        let _, outcomes =
+          run impl specs
+            [ Schedule.Steps (2, 2) (* T2 holds y's lock *);
+              Schedule.Until_done 1 (* locks x, conflicts on y, aborts *);
+              Schedule.Until_done 2; Schedule.Until_done 3 ]
+        in
+        check "T1 aborted" true (status outcomes 1 = Static_txn.Aborted);
+        check "T2 committed" true (status outcomes 2 = Static_txn.Committed);
+        check "T3 reacquires x's lock" true
+          (status outcomes 3 = Static_txn.Committed));
+    Alcotest.test_case "disjoint txns never contend (strict DAP)" `Quick
+      (fun () ->
+        let specs =
+          [ spec 1 1 [] [ (x, 1) ]; spec 2 2 [] [ (y, 2) ] ]
+        in
+        let data_sets = Static_txn.data_sets specs in
+        let outcomes = Hashtbl.create 4 in
+        let r =
+          Explorer.for_all ~max_nodes:150_000
+            (setup impl specs outcomes) ~pids:[ 1; 2 ]
+            (fun r -> Strict_dap.holds ~data_sets r.Sim.log)
+        in
+        check "holds" true (Result.is_ok r));
+    Alcotest.test_case "all interleavings opaque" `Quick (fun () ->
+        let specs =
+          [ spec 1 1 [ x ] [ (x, 1) ]; spec 2 2 [ x ] [ (x, 2) ] ]
+        in
+        let outcomes = Hashtbl.create 4 in
+        let r =
+          Explorer.for_all ~max_steps:60 ~max_nodes:150_000
+            (setup impl specs outcomes) ~pids:[ 1; 2 ]
+            (fun r -> Spec.sat (Opacity.check r.Sim.history))
+        in
+        check "holds" true (Result.is_ok r));
+  ]
+
+
+let pwf_tests =
+  let impl = (module Pwf_tm : Tm_intf.S) in
+  [
+    Alcotest.test_case "read-only txn takes exactly one shared step" `Quick
+      (fun () ->
+        (* the whole read-only transaction is the one root load at begin:
+           the constant step bound behind reader wait-freedom *)
+        let specs = [ spec 1 1 [ x; y ] [] ] in
+        let r, outcomes = run impl specs [ Schedule.Until_done 1 ] in
+        check "committed" true (status outcomes 1 = Static_txn.Committed);
+        check_int "one shared step" 1 (r.Sim.steps_of 1));
+    Alcotest.test_case "updater retries its CAS and commits (lock-free)"
+      `Quick (fun () ->
+        (* T1 snapshots the root, T2 commits first; T1's publish CAS
+           fails once, re-reads the root and succeeds *)
+        let specs =
+          [ spec 1 1 [] [ (x, 1) ]; spec 2 2 [] [ (y, 2) ];
+            spec 3 3 [ x; y ] [] ]
+        in
+        let _, outcomes =
+          run impl specs
+            [ Schedule.Steps (1, 1) (* root snapshot only *);
+              Schedule.Until_done 2; Schedule.Until_done 1;
+              Schedule.Until_done 3 ]
+        in
+        check "T1 committed after the retry" true
+          (status outcomes 1 = Static_txn.Committed);
+        check "T2 committed" true (status outcomes 2 = Static_txn.Committed);
+        check "both writes visible" true
+          (read_of outcomes 3 x = Some (Value.int 1)
+          && read_of outcomes 3 y = Some (Value.int 2)));
+    Alcotest.test_case "updater aborts on read validation failure" `Quick
+      (fun () ->
+        let specs =
+          [ spec 1 1 [ x ] [ (y, 1) ]; spec 2 2 [] [ (x, 9) ] ]
+        in
+        let _, outcomes =
+          run impl specs
+            [ Schedule.Steps (1, 1) (* snapshot read of x *);
+              Schedule.Until_done 2; Schedule.Until_done 1 ]
+        in
+        check "T2 committed" true (status outcomes 2 = Static_txn.Committed);
+        check "T1 aborted" true (status outcomes 1 = Static_txn.Aborted));
+    Alcotest.test_case "disjoint txns contend on the root" `Quick (fun () ->
+        let specs =
+          [ spec 1 1 [] [ (x, 1) ]; spec 2 2 [] [ (y, 2) ] ]
+        in
+        let r, _ =
+          run impl specs [ Schedule.Until_done 1; Schedule.Until_done 2 ]
+        in
+        check "strict DAP violated" false
+          (Strict_dap.holds ~data_sets:(Static_txn.data_sets specs) r.Sim.log));
+    Alcotest.test_case "all interleavings opaque" `Quick (fun () ->
+        let specs =
+          [ spec 1 1 [ x ] [ (x, 1) ]; spec 2 2 [ x ] [ (x, 2) ] ]
+        in
+        let outcomes = Hashtbl.create 4 in
+        let r =
+          Explorer.for_all ~max_steps:60 ~max_nodes:150_000
+            (setup impl specs outcomes) ~pids:[ 1; 2 ]
+            (fun r -> Spec.sat (Opacity.check r.Sim.history))
+        in
+        check "holds" true (Result.is_ok r));
+  ]
+
+
 let atomically_unit_tests =
   [
     Alcotest.test_case "Retry outcome aborts and re-executes" `Quick
@@ -807,4 +951,6 @@ let () =
       ("tl2-clock", tl2_tests);
       ("norec", norec_tests);
       ("llsc-candidate", llsc_tests);
+      ("lp-progressive", lp_tests);
+      ("pwf-readers", pwf_tests);
     ]
