@@ -354,9 +354,34 @@ let run_explore ?dump_dir ?(lint = false) ?(por = true)
   (profiles, stats, !dumped, !lint_unexpected)
 
 let explore_cmd =
-  let run tm record dump_dir lint por watch =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Sweep seed, stamped into the JSONL rows.  The sweep itself \
+             is exhaustive and deterministic — every seed yields the \
+             same verdict profile; the flag exists so every sweep \
+             subcommand shares the $(b,--seed)/$(b,--json)/$(b,-o)/\
+             $(b,--watch) vocabulary.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSONL row per TM on stdout instead of the table.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL rows to $(docv).")
+  in
+  let run tm record dump_dir lint por seed json output watch =
     let violations = ref 0 and executions = ref 0 in
     let impls = impls_of tm in
+    let json_lines = ref [] in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
@@ -372,33 +397,69 @@ let explore_cmd =
         in
         watch_finish w;
         executions := !executions + stats.Explorer.executions;
-        Format.printf
-          "%s: %d complete interleavings (%d nodes%s%s), strongest \
-           condition satisfied:@."
-          M.name stats.Explorer.executions stats.Explorer.nodes
-          (if por then
-             Printf.sprintf ", %d sleep-set prunes, %d replays"
-               stats.Explorer.sleep_pruned stats.Explorer.replays
-           else "")
-          (if stats.Explorer.truncated then ", truncated" else "");
+        json_lines :=
+          Obs_json.Obj
+            [
+              Schema.field;
+              ("type", Obs_json.String "explore");
+              ("tm", Obs_json.String M.name);
+              ("seed", Obs_json.Int seed);
+              ("executions", Obs_json.Int stats.Explorer.executions);
+              ("nodes", Obs_json.Int stats.Explorer.nodes);
+              ("sleep_pruned", Obs_json.Int stats.Explorer.sleep_pruned);
+              ("replays", Obs_json.Int stats.Explorer.replays);
+              ("truncated", Obs_json.Bool stats.Explorer.truncated);
+              ( "profiles",
+                Obs_json.Obj
+                  (List.map
+                     (fun (name, n) -> (name, Obs_json.Int n))
+                     profiles) );
+            ]
+          :: !json_lines;
+        if not json then begin
+          Format.printf
+            "%s: %d complete interleavings (%d nodes%s%s), strongest \
+             condition satisfied:@."
+            M.name stats.Explorer.executions stats.Explorer.nodes
+            (if por then
+               Printf.sprintf ", %d sleep-set prunes, %d replays"
+                 stats.Explorer.sleep_pruned stats.Explorer.replays
+             else "")
+            (if stats.Explorer.truncated then ", truncated" else "")
+        end;
         List.iter
           (fun (name, n) ->
             if name = "none" then violations := !violations + n;
-            Format.printf "  %-26s %d executions@." name n)
+            if not json then Format.printf "  %-26s %d executions@." name n)
           profiles;
         if lint then begin
           violations := !violations + lint_unexpected;
-          Format.printf "  %-26s %d executions@." "unexpected-lint"
-            lint_unexpected
+          if not json then
+            Format.printf "  %-26s %d executions@." "unexpected-lint"
+              lint_unexpected
         end;
-        List.iter
-          (fun path -> Format.printf "  violating trace dumped to %s@." path)
-          dumped)
+        if not json then
+          List.iter
+            (fun path ->
+              Format.printf "  violating trace dumped to %s@." path)
+            dumped)
       impls;
+    let jsonl =
+      String.concat ""
+        (List.rev_map (fun j -> Obs_json.to_string j ^ "\n") !json_lines)
+    in
+    (match output with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if json then print_string jsonl;
     if !violations > 0 then begin
-      Format.printf
-        "%d execution(s) satisfy no consistency condition at all@."
-        !violations;
+      if not json then
+        Format.printf
+          "%d execution(s) satisfy no consistency condition at all@."
+          !violations;
       Reason.exit_with
         (Reason.No_consistency
            {
@@ -421,7 +482,7 @@ let explore_cmd =
           $(b,--lint) the pclsan trace passes run on every execution.")
     Term.(
       const run $ tm_arg $ record_arg $ dump_dir_arg $ lint_flag $ por_flag
-      $ watch_arg)
+      $ seed $ json $ output $ watch_arg)
 
 let trace_cmd =
   let schedule_arg =
@@ -728,7 +789,20 @@ let fuzz_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run tm iters seed record dump_dir lint watch =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSONL row per TM on stdout instead of the table.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL rows to $(docv).")
+  in
+  let run tm iters seed record dump_dir lint json output watch =
     let violations = ref 0 and runs = ref 0 in
     let kinds = Hashtbl.create 8 in
     let count kind n =
@@ -736,6 +810,7 @@ let fuzz_cmd =
         Hashtbl.replace kinds kind
           (n + Option.value ~default:0 (Hashtbl.find_opt kinds kind))
     in
+    let json_lines = ref [] in
     List.iter
       (fun impl ->
         let (module M : Tm_intf.S) = impl in
@@ -757,20 +832,52 @@ let fuzz_cmd =
         count "strict-dap" t.dap_bad;
         count "consistency" t.cons_bad;
         count "lint" t.lint_bad;
-        Format.printf
-          "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
-           violations %d, consistency-target violations %d%s, stalled %d@."
-          M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad
-          (if lint then
-             Printf.sprintf ", unexpected lint findings %d" t.lint_bad
-           else "")
-          t.stalled;
-        List.iter
-          (fun path -> Format.printf "  violating trace dumped to %s@." path)
-          t.dumped)
+        json_lines :=
+          Obs_json.Obj
+            [
+              Schema.field;
+              ("type", Obs_json.String "fuzz");
+              ("tm", Obs_json.String M.name);
+              ("seed", Obs_json.Int seed);
+              ("runs", Obs_json.Int iters);
+              ("ill_formed", Obs_json.Int t.wf_bad);
+              ("of_violations", Obs_json.Int t.of_bad);
+              ("dap_violations", Obs_json.Int t.dap_bad);
+              ("consistency_violations", Obs_json.Int t.cons_bad);
+              ("lint_unexpected", Obs_json.Int t.lint_bad);
+              ("stalled", Obs_json.Int t.stalled);
+            ]
+          :: !json_lines;
+        if not json then begin
+          Format.printf
+            "%-12s %d runs: ill-formed %d, OF violations %d, strict-DAP \
+             violations %d, consistency-target violations %d%s, stalled \
+             %d@."
+            M.name iters t.wf_bad t.of_bad t.dap_bad t.cons_bad
+            (if lint then
+               Printf.sprintf ", unexpected lint findings %d" t.lint_bad
+             else "")
+            t.stalled;
+          List.iter
+            (fun path ->
+              Format.printf "  violating trace dumped to %s@." path)
+            t.dumped
+        end)
       (impls_of tm);
+    let jsonl =
+      String.concat ""
+        (List.rev_map (fun j -> Obs_json.to_string j ^ "\n") !json_lines)
+    in
+    (match output with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if json then print_string jsonl;
     if !violations > 0 then begin
-      Format.printf "%d contract violation(s) found@." !violations;
+      if not json then
+        Format.printf "%d contract violation(s) found@." !violations;
       Reason.exit_with
         (Reason.Contract_violation
            {
@@ -794,7 +901,7 @@ let fuzz_cmd =
           $(b,--lint) the pclsan trace passes run on every execution and \
           findings outside the TM's expected set count as violations.")
     Term.(const run $ tm_arg $ iters $ seed $ record_arg $ dump_dir_arg
-          $ lint_flag $ watch_arg)
+          $ lint_flag $ json $ output $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: replay a dumped trace artifact — render its timeline with the
@@ -1040,8 +1147,17 @@ let lint_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Also write the JSONL export to $(docv).")
   in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the live recorded workload runs (ignored when \
+             linting TRACE files, which carry their own seed in their \
+             meta).")
+  in
   let run tm traces pass_filter all_tms horizon connectivity max_findings
-      json output watch =
+      seed json output watch =
     let config =
       { Lint.horizon; dap_connectivity = connectivity; max_findings }
     in
@@ -1173,6 +1289,7 @@ let lint_cmd =
                    Workload.default with
                    Workload.conflict_pct = 50;
                    txns_per_proc = 10;
+                   seed;
                  }));
         lint_one
           ~target:(Printf.sprintf "workload:%s" M.name)
@@ -1228,7 +1345,7 @@ let lint_cmd =
           about it); exits non-zero on any unexpected finding.")
     Term.(
       const run $ tm_arg $ traces $ pass_filter $ all_tms $ horizon
-      $ connectivity $ max_findings $ json $ output $ watch_arg)
+      $ connectivity $ max_findings $ seed $ json $ output $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos: fault injection x contention management, the per-TM robustness
@@ -1360,14 +1477,14 @@ let chaos_cmd =
     | None -> ());
     if json then print_string jsonl
     else begin
-      Format.printf "%-14s %-9s %-10s %-14s %-8s %-11s %s@." "TM" "fault"
-        "cm" "commits/exp" "gave-up" "degradation" "stop";
+      Format.printf "%-14s %-9s %-10s %-14s %-8s %-8s %-11s %s@." "TM"
+        "fault" "cm" "commits/exp" "gave-up" "skipped" "degradation" "stop";
       List.iter
         (fun (c : Chaos_run.cell) ->
-          Format.printf "%-14s %-9s %-10s %5d/%-8d %-8d %-11s %s%s@."
+          Format.printf "%-14s %-9s %-10s %5d/%-8d %-8d %-8d %-11s %s%s@."
             c.Chaos_run.tm c.Chaos_run.fault c.Chaos_run.cm
             c.Chaos_run.commits c.Chaos_run.expected c.Chaos_run.gave_up
-            c.Chaos_run.degradation c.Chaos_run.stop
+            c.Chaos_run.skipped c.Chaos_run.degradation c.Chaos_run.stop
             (if c.Chaos_run.closure_violations > 0 then
                Printf.sprintf "  ** %d crash-closure violation(s)"
                  c.Chaos_run.closure_violations
@@ -1453,7 +1570,18 @@ let cost_cmd =
             "Also print the per-transaction cost breakdown of each figure \
              workload (table mode only).")
   in
-  let run tm all_tms json output per_txn watch =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Accepted for sweep-flag uniformity ($(b,--seed)/$(b,--json)/\
+             $(b,-o)/$(b,--watch) across every sweep subcommand).  The \
+             cost matrix derives from the fixed figure schedules and the \
+             exhaustive explore sweep, so it is seed-free: every seed \
+             yields the identical matrix.")
+  in
+  let run tm all_tms json output per_txn _seed watch =
     let impls = if all_tms then Registry.all else impls_of tm in
     let rows =
       List.concat_map
@@ -1516,7 +1644,8 @@ let cost_cmd =
           non-zero when the observed matrix violates the expected-cost \
           (\"PCL tax\") table or a universal cost law.")
     Term.(
-      const run $ tm_arg $ all_tms $ json $ output $ per_txn $ watch_arg)
+      const run $ tm_arg $ all_tms $ json $ output $ per_txn $ seed
+      $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
 (* soak: million-transaction endurance runs with continuous phase
@@ -1813,6 +1942,337 @@ let soak_cmd =
       $ chrome_arg $ gc_arg $ watch_arg)
 
 (* ------------------------------------------------------------------ *)
+(* conform: the scenario catalogue — run every scenario's TM x CM cells
+   and judge each against its declared expectation.  Crash-contained,
+   budget-fenced, resumable. *)
+
+let conform_cmd =
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"CATALOGUE"
+          ~doc:
+            "Scenario catalogue files (JSON; see scenarios/*.json and the \
+             committed scenario.schema.json).  Without any, every \
+             catalogue under $(b,--dir) is loaded.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "scenarios"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Catalogue directory loaded when no CATALOGUE file is given \
+             ($(b,*.schema.json) is skipped).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Run the full catalogue (the default when no $(b,--scenario) \
+             filter is given; the flag exists so intent is explicit in \
+             CI scripts).")
+  in
+  let scenario_filter =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"ID"
+          ~doc:"Run only this scenario id (repeatable).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Sweep seed: per-cell sub-seeds derive from it and the \
+             scenario id, so the same seed reproduces the run byte for \
+             byte.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the conformance rows as JSONL on stdout.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL rows to $(docv).")
+  in
+  let cells_flag =
+    Arg.(
+      value & flag
+      & info [ "cells" ]
+          ~doc:
+            "Also emit one $(b,conform_cell) row per TM x CM cell \
+             (freshly-run scenarios only — journal-reused rows carry no \
+             cell detail).")
+  in
+  let journal_arg =
+    Arg.(
+      value & opt string "conform.journal"
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Resume journal: one conformance row is appended (and \
+             flushed) as each scenario finishes.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reuse the journal's rows for scenarios that already passed \
+             (or are quarantined) and re-run only the rest; the final \
+             output is byte-identical to an uninterrupted run.")
+  in
+  let check_only =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Validate the catalogue (schema, ids, names) and exit.")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
+  in
+  let inject_crash =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-crash" ] ~docv:"ID"
+          ~doc:
+            "Containment test: raise an exception inside $(docv)'s first \
+             cell; the sweep must report it as that cell's failure and \
+             carry on.")
+  in
+  let inject_stall =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-stall" ] ~docv:"ID"
+          ~doc:
+            "Containment test: shrink $(docv)'s first cell's step budget \
+             to a handful of steps, forcing a budget-exhaustion (timeout) \
+             failure attributed to that cell.")
+  in
+  let run tm files dir _all scenario_filter seed json output cells_flag
+      journal_file resume check_only list_only inject_crash inject_stall
+      watch =
+    let scenarios =
+      match
+        (match files with
+        | [] -> Scenario.load_dir dir
+        | fs -> Scenario.load_files fs)
+      with
+      | Ok ss -> ss
+      | Error msg -> Fmt.failwith "%s" msg
+    in
+    let scenarios =
+      match scenario_filter with
+      | [] -> scenarios
+      | ids ->
+          List.iter
+            (fun id ->
+              if
+                not
+                  (List.exists (fun s -> s.Scenario.id = id) scenarios)
+              then Fmt.failwith "unknown scenario id %S" id)
+            ids;
+          List.filter
+            (fun s -> List.mem s.Scenario.id ids)
+            scenarios
+    in
+    (* -t TM restricts every scenario's cell space to that TM; scenarios
+       pinned to other TMs drop out of the sweep *)
+    let scenarios =
+      match tm with
+      | None -> scenarios
+      | Some _ ->
+          let name =
+            match impls_of tm with
+            | [ impl ] -> Registry.name impl
+            | _ -> assert false
+          in
+          List.filter_map
+            (fun s ->
+              if s.Scenario.tms = [] || List.mem name s.Scenario.tms then
+                Some { s with Scenario.tms = [ name ] }
+              else None)
+            scenarios
+    in
+    if scenarios = [] then Fmt.failwith "no scenarios selected";
+    if check_only then
+      Format.printf "%d scenario(s) valid@." (List.length scenarios)
+    else if list_only then
+      List.iter
+        (fun s ->
+          Format.printf "%-32s %-14s %-9s %3d cells%s  %s@." s.Scenario.id
+            (Scenario.family_to_string s.Scenario.family)
+            (Fault.name s.Scenario.fault)
+            (List.length (Scenario_run.cells_of s))
+            (if s.Scenario.quarantine then "  [quarantined]" else "")
+            s.Scenario.describe)
+        scenarios
+    else begin
+      (* journal-reused rows for --resume: id -> (status, raw line), last
+         occurrence wins (a re-run scenario appends a newer row) *)
+      let reusable = Hashtbl.create 64 in
+      if resume then
+        List.iter
+          (fun (id, status, line) ->
+            if status = "pass" || status = "quarantine" then
+              Hashtbl.replace reusable id line
+            else Hashtbl.remove reusable id)
+          (Scenario_run.journal_load journal_file);
+      let journal =
+        open_out_gen
+          (if resume then [ Open_append; Open_creat ]
+           else [ Open_wronly; Open_trunc; Open_creat ])
+          0o644 journal_file
+      in
+      let w = make_watch ~enabled:watch ~label:"conform" ~every:10 in
+      let lines = ref [] in
+      let failed = ref [] and timeouts = ref [] in
+      let quarantined = ref 0 and total_cells = ref 0 and reused = ref 0 in
+      let table = ref [] in
+      List.iter
+        (fun s ->
+          let id = s.Scenario.id in
+          match Hashtbl.find_opt reusable id with
+          | Some line ->
+              incr reused;
+              lines := (line ^ "\n") :: !lines;
+              let status, cells =
+                match Obs_json.parse line with
+                | Ok j ->
+                    ( Option.value ~default:"pass"
+                        (Option.bind (Obs_json.member "status" j)
+                           Obs_json.to_str),
+                      Option.value ~default:0
+                        (Option.bind (Obs_json.member "cells" j)
+                           Obs_json.to_int) )
+                | Error _ -> ("pass", 0)
+              in
+              if status = "quarantine" then incr quarantined;
+              total_cells := !total_cells + cells;
+              table := (id, status, cells, 0, true) :: !table
+          | None ->
+              let inject =
+                if inject_crash = Some id then Scenario_run.Inject_crash
+                else if inject_stall = Some id then Scenario_run.Inject_stall
+                else Scenario_run.No_inject
+              in
+              let cell_lines = ref [] in
+              let row = Scenario_run.run_row ~tick:(fun () -> watch_tick w)
+                  ~inject ~seed s
+              in
+              if cells_flag then begin
+                (* re-run cells are not re-executed here: cell rows ride
+                   the same sweep, rendered from the row's failures plus
+                   the passing cell list *)
+                let failures = row.Scenario_run.failures in
+                List.iter
+                  (fun (impl, policy) ->
+                    let tm = Registry.name impl in
+                    let cm = policy.Cm.name in
+                    let c =
+                      match
+                        List.find_opt
+                          (fun (f : Scenario_run.cell) ->
+                            f.Scenario_run.tm = tm
+                            && f.Scenario_run.cm = cm)
+                          failures
+                      with
+                      | Some f -> f
+                      | None ->
+                          {
+                            Scenario_run.tm;
+                            cm;
+                            reason = None;
+                            detail = "";
+                          }
+                    in
+                    cell_lines :=
+                      (Obs_json.to_string (Scenario_run.cell_json ~id c)
+                      ^ "\n")
+                      :: !cell_lines)
+                  (Scenario_run.cells_of s)
+              end;
+              let line = Obs_json.to_string (Scenario_run.row_json row) in
+              output_string journal (line ^ "\n");
+              flush journal;
+              lines := (line ^ "\n") :: List.rev_append !cell_lines !lines;
+              if row.Scenario_run.status = "fail" then begin
+                failed := id :: !failed;
+                if
+                  List.exists
+                    (fun (f : Scenario_run.cell) ->
+                      f.Scenario_run.reason = Some "timeout")
+                    row.Scenario_run.failures
+                then timeouts := id :: !timeouts
+              end;
+              if row.Scenario_run.status = "quarantine" then
+                incr quarantined;
+              total_cells := !total_cells + row.Scenario_run.cells;
+              table :=
+                (id, row.Scenario_run.status, row.Scenario_run.cells,
+                 row.Scenario_run.failed, false)
+                :: !table)
+        scenarios;
+      close_out journal;
+      watch_finish w;
+      let jsonl = String.concat "" (List.rev !lines) in
+      (match output with
+      | Some f ->
+          let oc = open_out f in
+          output_string oc jsonl;
+          close_out oc
+      | None -> ());
+      if json then print_string jsonl
+      else begin
+        Format.printf "%-32s %-11s %5s %6s@." "scenario" "status" "cells"
+          "failed";
+        List.iter
+          (fun (id, status, cells, failed, from_journal) ->
+            Format.printf "%-32s %-11s %5d %6d%s@." id status cells failed
+              (if from_journal then "  (journal)" else ""))
+          (List.rev !table);
+        Format.printf
+          "@.%d scenario(s) (%d from the journal), %d cell(s), %d \
+           failed, %d quarantined@."
+          (List.length scenarios) !reused !total_cells
+          (List.length !failed) !quarantined
+      end;
+      if !failed <> [] then
+        Reason.exit_with
+          (Reason.Conform_failure
+             {
+               failed = List.rev !failed;
+               timeouts = List.rev !timeouts;
+               scenarios = List.length scenarios;
+               cells = !total_cells;
+               quarantined = !quarantined;
+             })
+    end
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Run the scenario catalogue: every scenario's TM x CM cells, \
+          each judged against the scenario's declared expectation \
+          (consistency verdict, stop reason, lint findings, commit \
+          floor).  Crash-contained — an exception or a stall inside one \
+          cell is reported as that cell's failure and never aborts the \
+          sweep.  Each finished scenario is journaled, so $(b,--resume) \
+          re-runs only unfinished ids with byte-identical final output.  \
+          Exits non-zero (one PCL-E110 reason line naming the failed \
+          ids) when any non-quarantined scenario fails.")
+    Term.(
+      const run $ tm_arg $ files $ dir $ all $ scenario_filter $ seed
+      $ json $ output $ cells_flag $ journal_arg $ resume $ check_only
+      $ list_only $ inject_crash $ inject_stall $ watch_arg)
+
+(* ------------------------------------------------------------------ *)
 (* report: run a workload silently, then dump the telemetry sink. *)
 
 let report_workloads =
@@ -1926,7 +2386,8 @@ let () =
     Cmd.group info
       [ list_cmd; verdict_cmd; figures_cmd; anomalies_cmd; check_cmd;
         check_file_cmd; liveness_cmd; explore_cmd; trace_cmd; fuzz_cmd;
-        explain_cmd; lint_cmd; chaos_cmd; cost_cmd; soak_cmd; report_cmd ]
+        explain_cmd; lint_cmd; chaos_cmd; cost_cmd; soak_cmd; conform_cmd;
+        report_cmd ]
   in
   let rc =
     try Cmd.eval ~catch:false group with

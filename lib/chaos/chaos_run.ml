@@ -65,6 +65,10 @@ type cell = {
   crashes : int;  (** injected crash-stops that actually landed *)
   closure_violations : int;  (** crash-closure Error flips — must be 0 *)
   wac_witnesses : int;  (** crash-closure Info flips (adaptive condition) *)
+  skipped : int;
+      (** crash-closure cores (full history or truncated prefix) skipped
+          because they exceed [Crash_closure.max_core_txns] — previously
+          only a silent sink counter, now attributed per cell *)
   degradation : string;  (** vs the same (tm, cm) fault-free control cell *)
 }
 
@@ -154,12 +158,19 @@ let run_cell (cfg : cfg) (impl : Tm_intf.impl) (klass : Fault.klass)
   let r = Sim.snapshot ~schedule:atoms c in
   let crash_steps = List.map snd r.Sim.report.Schedule.crashes in
   let last = List.length r.Sim.log in
+  (* the ">12 txn core skipped" counter, read as a delta so the cell can
+     report how much of its closure check was skipped rather than run *)
+  let skipped_c =
+    Tm_obs.Metrics.counter metrics "chaos_closure_skipped_total"
+  in
+  let skipped_before = Tm_obs.Metrics.counter_value skipped_c in
   let flips =
     Crash_closure.check ~budget:cfg.closure_budget
       ~checkers:[ weakest_claim M.name ]
       r.Sim.history
       ~cuts:(Crash_closure.cuts ~crash_steps ~last)
   in
+  let skipped = Tm_obs.Metrics.counter_value skipped_c - skipped_before in
   let violations, witnesses =
     List.partition
       (fun (f : Crash_closure.flip) -> not f.Crash_closure.adaptivity_witness)
@@ -195,6 +206,7 @@ let run_cell (cfg : cfg) (impl : Tm_intf.impl) (klass : Fault.klass)
     crashes = List.length crash_steps;
     closure_violations = List.length violations;
     wac_witnesses = List.length witnesses;
+    skipped;
     degradation = "";  (* filled against the control row by [matrix] *)
   }
 
@@ -279,12 +291,14 @@ let cell_json (c : cell) : Tm_obs.Obs_json.t =
       ("crashes", Tm_obs.Obs_json.Int c.crashes);
       ("closure_violations", Tm_obs.Obs_json.Int c.closure_violations);
       ("wac_witnesses", Tm_obs.Obs_json.Int c.wac_witnesses);
+      ("skipped", Tm_obs.Obs_json.Int c.skipped);
       ("degradation", Tm_obs.Obs_json.String c.degradation);
     ]
 
 let pp_cell ppf (c : cell) =
-  Fmt.pf ppf "%-14s %-9s %-10s %2d/%2d commits %2d gave-up %s%s" c.tm
+  Fmt.pf ppf "%-14s %-9s %-10s %2d/%2d commits %2d gave-up %s%s%s" c.tm
     c.fault c.cm c.commits c.expected c.gave_up c.degradation
+    (if c.skipped > 0 then Printf.sprintf "  skipped:%d" c.skipped else "")
     (if c.closure_violations > 0 then
        Printf.sprintf "  ** %d closure violation(s)" c.closure_violations
      else "")

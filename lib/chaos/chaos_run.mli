@@ -41,6 +41,9 @@ type cell = {
   crashes : int;  (** injected crash-stops that actually landed *)
   closure_violations : int;  (** crash-closure Error flips — must be 0 *)
   wac_witnesses : int;  (** crash-closure Info flips (adaptive condition) *)
+  skipped : int;
+      (** crash-closure cores skipped as too large to check (more than
+          [Crash_closure.max_core_txns] transactions), per cell *)
   degradation : string;  (** vs the same (tm, cm) fault-free control cell *)
 }
 

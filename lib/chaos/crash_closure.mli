@@ -18,6 +18,17 @@ type flip = {
           checker bug *)
 }
 
+val core : History.t -> History.t
+(** The non-aborted core: the history restricted to its non-aborted
+    transactions.  The com(alpha)-based conditions never place aborted
+    transactions, so the projection preserves their verdicts while
+    keeping enumeration tractable. *)
+
+val max_core_txns : int
+(** Cores larger than this are skipped outright (counted in
+    [chaos_closure_skipped_total]) — the adaptive checkers' partition
+    enumeration is exponential in the transaction count. *)
+
 val cuts : crash_steps:int list -> last:int -> int list
 (** Truncation points worth probing: injected-crash steps plus step-range
     quartiles, in (0, last), deduplicated and sorted. *)

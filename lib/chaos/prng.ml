@@ -28,3 +28,18 @@ let int t bound =
 
 (** Pick an element of a non-empty list. *)
 let pick t xs = List.nth xs (int t (List.length xs))
+
+(** [derive base k] — the [k]-th child seed of [base]: one splitmix64
+    output of a stream positioned [k] steps past [base]'s raw state.
+    Because splitmix64 is a bijection of the 64-bit state composed with
+    an (invertible) output mix, distinct [k] under the same [base] can
+    only collide if two state values 0x9E3779B97F4A7C15 apart mix to
+    ints equal after the 2-bit truncation — vanishingly unlikely, and
+    pinned by a qcheck law.  Used wherever a run fans out into seeded
+    sub-streams (soak segments, scenario cells) so the sub-seeds are
+    decorrelated rather than arithmetic neighbours. *)
+let derive base k =
+  if k < 0 then invalid_arg "Prng.derive: negative index";
+  let t = create base in
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int k) 0x9E3779B97F4A7C15L);
+  next t

@@ -5,6 +5,11 @@
 type t
 
 val create : int -> t
+
+val next_int64 : t -> int64
+(** The raw 64-bit splitmix64 output — exposed so known-answer vectors
+    can be checked against the reference implementation bit for bit. *)
+
 val next : t -> int
 (** A non-negative int. *)
 
@@ -13,3 +18,9 @@ val int : t -> int -> int
 
 val pick : t -> 'a list -> 'a
 (** An element of a non-empty list. *)
+
+val derive : int -> int -> int
+(** [derive base k] is the [k]-th child seed of [base] ([k >= 0]):
+    deterministic, decorrelated across [k], and collision-free within a
+    run for all practical fan-outs (qcheck-pinned).  Use it to seed the
+    per-segment / per-cell sub-streams of a sweep. *)

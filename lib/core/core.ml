@@ -130,6 +130,11 @@ module Fault = Tm_chaos.Fault
 module Crash_closure = Tm_chaos.Crash_closure
 module Chaos_run = Tm_chaos.Chaos_run
 
+(* the scenario catalogue: versioned conformance scenarios + runner *)
+module Scenario = Tm_scenario.Scenario
+module Scenario_gen = Tm_scenario.Scenario_gen
+module Scenario_run = Tm_scenario.Scenario_run
+
 (* the mechanized proof *)
 module Pcl_txns = Pcl.Txns
 module Pcl_harness = Pcl.Harness

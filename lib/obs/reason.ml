@@ -59,6 +59,14 @@ type t =
       witness_step : int option;  (* step-level witness (stamp or depth) *)
       unexpected : int;  (* all unexpected findings of the lint run *)
     }
+  | Conform_failure of {
+      failed : string list;  (* scenario ids with a non-quarantined failure *)
+      timeouts : string list;
+          (* the subset whose failure is a per-scenario budget exhaustion *)
+      scenarios : int;  (* scenarios executed (or replayed from the journal) *)
+      cells : int;  (* (tm, cm) cells executed across all scenarios *)
+      quarantined : int;  (* known-bad scenarios downgraded to warnings *)
+    }
 
 exception Exit_reason of t
 
@@ -75,6 +83,7 @@ let code = function
   | Cost_expectation _ -> "PCL-E107"
   | Soak_stall _ -> "PCL-E108"
   | Progress_violation _ -> "PCL-E109"
+  | Conform_failure _ -> "PCL-E110"
 
 (* code -> one-line meaning; the docs reason-code table mirrors this *)
 let catalogue =
@@ -94,6 +103,8 @@ let catalogue =
                   transaction target");
     ("PCL-E109", "lint found a progress-guarantee violation \
                   (progressiveness or partial wait-freedom)");
+    ("PCL-E110", "conformance sweep failed: scenarios diverged from their \
+                  declared expectations (timeouts attributed per cell)");
   ]
 
 let message r =
@@ -145,6 +156,12 @@ let message r =
         (match witness_step with
         | Some s -> Printf.sprintf ", witness step %d" s
         | None -> "")
+  | Conform_failure { failed; timeouts; scenarios; _ } ->
+      Printf.sprintf "%d of %d scenario(s) failed conformance%s"
+        (List.length failed) scenarios
+        (match timeouts with
+        | [] -> ""
+        | ts -> Printf.sprintf " (%d by budget exhaustion)" (List.length ts))
 
 let strings ss = Obs_json.List (List.map (fun s -> Obs_json.String s) ss)
 
@@ -219,6 +236,14 @@ let payload : t -> (string * Obs_json.t) list = function
       @ opt "txn" (fun i -> Obs_json.Int i) txn
       @ opt "witness_step" (fun i -> Obs_json.Int i) witness_step
       @ [ ("unexpected", Obs_json.Int unexpected) ]
+  | Conform_failure { failed; timeouts; scenarios; cells; quarantined } ->
+      [
+        ("failed", strings failed);
+        ("timeouts", strings timeouts);
+        ("scenarios", Obs_json.Int scenarios);
+        ("cells", Obs_json.Int cells);
+        ("quarantined", Obs_json.Int quarantined);
+      ]
 
 let to_json r =
   Obs_json.Obj

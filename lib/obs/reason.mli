@@ -58,6 +58,13 @@ type t =
       witness_step : int option;
       unexpected : int;
     }  (** PCL-E109 *)
+  | Conform_failure of {
+      failed : string list;
+      timeouts : string list;
+      scenarios : int;
+      cells : int;
+      quarantined : int;
+    }  (** PCL-E110 *)
 
 exception Exit_reason of t
 

@@ -1,0 +1,123 @@
+(* Scenario -> workload: the key-distribution families and the per-process
+   client programs.  Op sequences are drawn from the scenario's family
+   outside the transaction bodies, so a contention-manager retry replays
+   the identical footprint; only the Dynamic family computes keys inside
+   the body (from the values it reads), which is the point of that
+   family — a data set no static declaration can capture. *)
+
+open Tm_base
+open Tm_runtime
+open Tm_impl
+open Tm_chaos
+
+let items (s : Scenario.t) =
+  List.init s.Scenario.keys (fun i -> Item.v (Printf.sprintf "k%d" i))
+
+let expected_commits (s : Scenario.t) =
+  s.Scenario.procs * s.Scenario.txns_per_proc
+
+(* -- key distributions ------------------------------------------------- *)
+
+(** Integer cumulative harmonic weights for the zipfian family:
+    weight(i) = 1000/(i+1), so key 0 carries the head of the
+    distribution and the tail decays like 1/rank. *)
+let zipf_weights keys = List.init keys (fun i -> 1000 / (i + 1))
+
+let key_of (s : Scenario.t) rand =
+  match s.Scenario.family with
+  | Scenario.Zipfian ->
+      let weights = zipf_weights s.Scenario.keys in
+      let total = List.fold_left ( + ) 0 weights in
+      let r = Prng.int rand total in
+      let rec walk i acc = function
+        | [] -> s.Scenario.keys - 1
+        | w :: rest -> if r < acc + w then i else walk (i + 1) (acc + w) rest
+      in
+      walk 0 0 weights
+  | Scenario.Hotspot ->
+      if s.Scenario.keys = 1 || Prng.int rand 100 < 80 then 0
+      else 1 + Prng.int rand (s.Scenario.keys - 1)
+  | Scenario.Uniform | Scenario.Read_mostly | Scenario.Long_read_only
+  | Scenario.Dynamic ->
+      Prng.int rand s.Scenario.keys
+
+(* -- transaction bodies ------------------------------------------------ *)
+
+type op = Read of int | Rmw of int
+
+(** The op list of one (pid, txn) — drawn once, replayed verbatim on
+    every retry.  The first process of a [Long_read_only] scenario reads
+    the whole key space instead (the long-running read-only transaction
+    of the pwf construction). *)
+let ops_of (s : Scenario.t) rand ~first_pid ~pid =
+  match s.Scenario.family with
+  | Scenario.Long_read_only when pid = first_pid ->
+      List.init s.Scenario.keys (fun k -> Read k)
+  | _ ->
+      List.init s.Scenario.ops_per_txn (fun _ ->
+          let k = key_of s rand in
+          if Prng.int rand 100 < s.Scenario.read_pct then Read k else Rmw k)
+
+let bump txn item v_read =
+  Atomically.write txn item
+    (Value.int (1 + Option.value ~default:0 (Value.to_int v_read)))
+
+let static_body item_arr ops (txn : Txn_api.txn) =
+  List.iter
+    (fun op ->
+      match op with
+      | Read k -> ignore (Atomically.read txn item_arr.(k))
+      | Rmw k ->
+          let v = Atomically.read txn item_arr.(k) in
+          bump txn item_arr.(k) v)
+    ops;
+  Atomically.Done ()
+
+(** The dynamic family: op [i+1]'s key is computed from the value op [i]
+    read, so the transaction's data set depends on memory contents. *)
+let dynamic_body (s : Scenario.t) item_arr ~start ~n_ops (txn : Txn_api.txn)
+    =
+  let k = ref start in
+  for _ = 1 to n_ops do
+    let v = Atomically.read txn item_arr.(!k) in
+    bump txn item_arr.(!k) v;
+    k :=
+      (1 + Option.value ~default:0 (Value.to_int v)) mod s.Scenario.keys
+  done;
+  Atomically.Done ()
+
+(* -- the simulation setup ---------------------------------------------- *)
+
+let setup (s : Scenario.t) ~(impl : Tm_intf.impl) ~(policy : Cm.policy)
+    ~seed ~commits ~gave_up ~fault_hook : Sim.setup =
+  let (module M : Tm_intf.S) = impl in
+  let pids = List.init s.Scenario.procs (fun p -> p + 1) in
+  let first_pid = 1 in
+  let item_list = items s in
+  let item_arr = Array.of_list item_list in
+  fun mem recorder ->
+    (match fault_hook with
+    | Some h -> Memory.set_fault_hook mem h
+    | None -> ());
+    let handle = Txn_api.instantiate impl mem recorder ~items:item_list in
+    let scratch = Cm.scratch mem in
+    let client pid () =
+      let rand = Prng.create (Prng.derive seed pid) in
+      for k = 1 to s.Scenario.txns_per_proc do
+        let body =
+          match s.Scenario.family with
+          | Scenario.Dynamic ->
+              dynamic_body s item_arr ~start:(key_of s rand)
+                ~n_ops:s.Scenario.ops_per_txn
+          | _ -> static_body item_arr (ops_of s rand ~first_pid ~pid)
+        in
+        match
+          Cm.atomically policy ~scratch
+            ~seed:(Prng.derive seed ((pid * 1_000) + k))
+            ~tm:M.name handle ~pid body
+        with
+        | Cm.Committed ((), _) -> incr commits
+        | Cm.Gave_up _ -> incr gave_up
+      done
+    in
+    List.map (fun pid -> (pid, client pid)) pids

@@ -1,0 +1,33 @@
+(** Turn a catalogue scenario into a runnable workload: per-process
+    client programs over a keyed item space, with the scenario's key
+    distribution driving which items each transactional op touches.
+    Everything is a pure function of (scenario, seed) — op sequences are
+    precomputed outside the transaction bodies, so a contention-manager
+    retry replays the identical footprint (the [Dynamic] family is the
+    deliberate exception: its keys are computed from the values the
+    transaction reads, which is still deterministic under the
+    deterministic scheduler). *)
+
+open Tm_impl
+open Tm_chaos
+
+val items : Scenario.t -> Tm_base.Item.t list
+(** The key space: items [k0 .. k{keys-1}]. *)
+
+val expected_commits : Scenario.t -> int
+(** Transactions the workload would commit fault-free
+    ([procs * txns_per_proc]). *)
+
+val setup :
+  Scenario.t ->
+  impl:Tm_intf.impl ->
+  policy:Cm.policy ->
+  seed:int ->
+  commits:int ref ->
+  gave_up:int ref ->
+  fault_hook:Tm_base.Memory.fault_hook option ->
+  Tm_runtime.Sim.setup
+(** The simulation setup: installs the fault hook (when the plan has
+    one), instantiates the TM over {!items}, and returns one client per
+    process running [txns_per_proc] transactions under the contention
+    manager, counting commits and give-ups into the supplied refs. *)

@@ -179,6 +179,14 @@ let test_reason_catalogue () =
           witness_step = Some 2;
           unexpected = 1;
         };
+      Reason.Conform_failure
+        {
+          failed = [ "uniform-none-immediate" ];
+          timeouts = [];
+          scenarios = 60;
+          cells = 480;
+          quarantined = 1;
+        };
     ]
   in
   Alcotest.(check int) "catalogue covers every constructor"
@@ -229,7 +237,15 @@ let test_cli_no_bare_exits () =
         if contains_at i "Reason.Progress_violation" then progress := true)
       src;
     Alcotest.(check bool)
-      "lint progress failures use Reason.Progress_violation" true !progress
+      "lint progress failures use Reason.Progress_violation" true !progress;
+    (* and conform's sweep failures go through PCL-E110 *)
+    let conform = ref false in
+    String.iteri
+      (fun i _ ->
+        if contains_at i "Reason.Conform_failure" then conform := true)
+      src;
+    Alcotest.(check bool)
+      "conform failures use Reason.Conform_failure" true !conform
   end
 
 let () =
