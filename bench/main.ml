@@ -673,18 +673,22 @@ let explore_row_json (r : explore_row) : Obs_json.t =
     ]
 
 let soak_row_json (r : soak_row) : Obs_json.t =
+  (* a TM that commits without shared-memory steps (pram-local) has no
+     per-step rates: mark the row degenerate so ratchet tooling skips it
+     instead of ratcheting against a 0/0 *)
+  let degenerate = r.s_steps = 0 in
   let fsteps = float_of_int (max 1 r.s_steps) in
   Obs_json.Obj
     [
       ("tm", Obs_json.String r.stm);
       ("txns", Obs_json.Int r.s_txns);
       ("steps", Obs_json.Int r.s_steps);
+      ("degenerate", Obs_json.Bool degenerate);
       ( "ns_per_step",
         Obs_json.Float
-          (if r.s_steps = 0 then 0. else float_of_int r.s_wall_ns /. fsteps)
-      );
+          (if degenerate then 0. else float_of_int r.s_wall_ns /. fsteps) );
       ( "words_per_step",
-        Obs_json.Float (if r.s_steps = 0 then 0. else r.s_words /. fsteps) );
+        Obs_json.Float (if degenerate then 0. else r.s_words /. fsteps) );
     ]
 
 let write_summary cli (rows : scaling_row list) (chaos : chaos_row list)

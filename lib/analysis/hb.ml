@@ -46,7 +46,8 @@ let is_sync : Primitive.t -> bool = function
   | Primitive.Store_conditional _ ->
       true
 
-let analyse ?history (log : Access_log.entry list) : t =
+let analyse_core ?history ~(len : int) ~(get : int -> Access_log.entry) () :
+    t =
   let pid_clock : (int, Vclock.t) Hashtbl.t = Hashtbl.create 8 in
   let obj_clock : (Oid.t, Vclock.t) Hashtbl.t = Hashtbl.create 64 in
   let tid_clock : (Tid.t, Vclock.t) Hashtbl.t = Hashtbl.create 8 in
@@ -107,40 +108,48 @@ let analyse ?history (log : Access_log.entry list) : t =
         in
         prefix_join (count 0 (Array.length completions))
   in
-  let by_index = Hashtbl.create (List.length log) in
+  let by_index = Hashtbl.create (max 16 len) in
   let arr =
-    Array.of_list
-      (List.mapi
-         (fun pos (e : Access_log.entry) ->
-           let before = clock_of pid_clock e.Access_log.pid in
-           let before =
-             match e.Access_log.tid with
-             | Some t when not (Hashtbl.mem started t) ->
-                 Hashtbl.add started t ();
-                 Vclock.join before (predecessor_clock t)
-             | _ -> before
-           in
-           let ticked = Vclock.tick before e.Access_log.pid in
-           let sync = is_sync e.Access_log.prim in
-           let after =
-             if sync then begin
-               let joined =
-                 Vclock.join ticked (clock_of obj_clock e.Access_log.oid)
-               in
-               Hashtbl.replace obj_clock e.Access_log.oid joined;
-               joined
-             end
-             else ticked
-           in
-           Hashtbl.replace pid_clock e.Access_log.pid after;
-           (match e.Access_log.tid with
-           | Some t -> Hashtbl.replace tid_clock t after
-           | None -> ());
-           Hashtbl.replace by_index e.Access_log.index pos;
-           { pos; entry = e; before; after; sync })
-         log)
+    Array.init len (fun pos ->
+        let e = get pos in
+        let before = clock_of pid_clock e.Access_log.pid in
+        let before =
+          match e.Access_log.tid with
+          | Some t when not (Hashtbl.mem started t) ->
+              Hashtbl.add started t ();
+              Vclock.join before (predecessor_clock t)
+          | _ -> before
+        in
+        let ticked = Vclock.tick before e.Access_log.pid in
+        let sync = is_sync e.Access_log.prim in
+        let after =
+          if sync then begin
+            let joined =
+              Vclock.join ticked (clock_of obj_clock e.Access_log.oid)
+            in
+            Hashtbl.replace obj_clock e.Access_log.oid joined;
+            joined
+          end
+          else ticked
+        in
+        Hashtbl.replace pid_clock e.Access_log.pid after;
+        (match e.Access_log.tid with
+        | Some t -> Hashtbl.replace tid_clock t after
+        | None -> ());
+        Hashtbl.replace by_index e.Access_log.index pos;
+        { pos; entry = e; before; after; sync })
   in
   { arr; by_index; final = pid_clock }
+
+let analyse ?history (log : Access_log.entry list) : t =
+  let items = Array.of_list log in
+  analyse_core ?history ~len:(Array.length items) ~get:(Array.get items) ()
+
+(** [analyse] over the log structure itself: steps are fetched by index
+    from the flat columns, no entry list is rescanned. *)
+let analyse_log ?history (log : Access_log.t) : t =
+  analyse_core ?history ~len:(Access_log.length log)
+    ~get:(Access_log.get log) ()
 
 let steps t = Array.to_list t.arr
 let length t = Array.length t.arr

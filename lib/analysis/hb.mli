@@ -34,6 +34,10 @@ val analyse : ?history:History.t -> Access_log.entry list -> t
     step of each transaction additionally acquires the final clocks of all
     transactions that completed before it was invoked. *)
 
+val analyse_log : ?history:History.t -> Access_log.t -> t
+(** [analyse] over the log structure itself: steps are fetched by index
+    from the flat columns, no entry list is rescanned. *)
+
 val steps : t -> step list
 (** In trace order. *)
 

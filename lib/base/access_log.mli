@@ -1,7 +1,14 @@
 (** The access log: every step of an execution, in order — the executable
     counterpart of the paper's "an execution alpha is a sequence of
     steps".  Contention and disjoint-access-parallelism checkers run on
-    it. *)
+    it.
+
+    Backed by chunked struct-of-arrays columns (appending never copies,
+    ~one word per field per step) with three incremental index rings —
+    per-process, per-object, per-transaction — threaded through the
+    columns at record time.  {!entries}, {!by_txn} and {!by_pid} remain
+    as compatibility views; new code should use the per-field reads,
+    {!iter}/{!fold}/{!get}/{!sub}, or walk the rings directly. *)
 
 type entry = {
   index : int;  (** global step number, 0-based *)
@@ -27,24 +34,89 @@ val record :
   prim:Primitive.t ->
   response:Value.t ->
   changed:bool ->
-  entry
+  unit
+(** Append one step.  The step's index is [length] before the call.
+    @raise Invalid_argument on a negative pid. *)
 
 val length : t -> int
+
+(** {2 Random access}
+
+    All indexed reads check bounds and raise [Invalid_argument] outside
+    [0..length-1]. *)
+
+val get : t -> int -> entry
+(** Materialize the step at an index as an entry record. *)
+
+val pid_at : t -> int -> int
+val tid_at : t -> int -> Tid.t option
+
+val tid_int_at : t -> int -> int
+(** Allocation-free transaction read: [Tid.to_int], or -1 when the step
+    is unattributed. *)
+
+val oid_at : t -> int -> Oid.t
+val prim_at : t -> int -> Primitive.t
+val response_at : t -> int -> Value.t
+val changed_at : t -> int -> bool
+
+(** {2 Iteration without list materialization} *)
+
+val iter : t -> f:(entry -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+
+val to_seq : t -> entry Seq.t
+(** Ephemeral: the sequence reads through to the live log, so steps
+    recorded after a node is forced appear past it. *)
+
+val sub : t -> pos:int -> len:int -> entry list
+(** The [len] entries starting at [pos], in step order.
+    @raise Invalid_argument unless [0 <= pos], [0 <= len] and
+    [pos + len <= length]. *)
+
+(** {2 Index rings}
+
+    Each step stores the index of the previous step by the same process /
+    on the same object / of the same transaction (-1 at the front of a
+    chain), with O(1) heads.  Maintained incrementally by {!record}. *)
+
+val last_index_by_pid : t -> int -> int
+(** Index of the most recent step by a process, -1 if none. *)
+
+val last_index_on_oid : t -> Oid.t -> int
+val last_index_of_txn : t -> Tid.t -> int
+
+val prev_same_pid : t -> int -> int
+(** Index of the previous step by the same process, -1 at chain front. *)
+
+val prev_same_oid : t -> int -> int
+val prev_same_txn : t -> int -> int
+
+val pid_step_count : t -> int -> int
+(** Steps taken by a process so far; O(1). *)
+
+(** {2 Compatibility views} *)
 
 val entries : t -> entry list
 (** In step order. *)
 
 val by_txn : t -> Tid.t -> entry list
-(** Steps attributed to a transaction — the paper's alpha|T. *)
+(** Steps attributed to a transaction — the paper's alpha|T.  O(answer)
+    via the per-transaction ring. *)
 
 val by_pid : t -> int -> entry list
+(** O(answer) via the per-process ring. *)
 
 val last_by_pid : t -> int -> entry option
-(** Most recent step taken by a process, if any. *)
+(** Most recent step taken by a process, if any; O(1). *)
 
 val objects_of_txn : t -> Tid.t -> bool Oid.Map.t
 (** Base objects accessed by a transaction, mapped to whether it applied
     at least one non-trivial primitive to them. *)
+
+val of_entries : entry list -> t
+(** Rebuild a log (and its index rings) from a recorded entry list, e.g.
+    a parsed flight artifact.  Entries are re-indexed in list order. *)
 
 val pp_entry :
   name_of:(Oid.t -> string) -> Format.formatter -> entry -> unit

@@ -17,53 +17,79 @@ let value t = t.value
 let lock_holder t = t.lock_holder
 let locked t = t.lock_holder <> None
 
-(** [apply t prim] atomically applies [prim]; returns [(response, changed)]
-    where [changed] reports whether any component of the state mutated. *)
-let apply t (prim : Primitive.t) : Value.t * bool =
+(** [apply_into t prim ~changed] atomically applies [prim]; returns the
+    response and reports through [changed] whether any component of the
+    state mutated.  The out-parameter form lets the hot path reuse one
+    scratch ref instead of allocating a response pair per step. *)
+let apply_into t (prim : Primitive.t) ~(changed : bool ref) : Value.t =
   match prim with
-  | Read -> (t.value, false)
+  | Read ->
+      changed := false;
+      t.value
   | Write v ->
-      let changed = not (Value.equal t.value v) in
+      let c = not (Value.equal t.value v) in
       t.value <- v;
       (* any write invalidates outstanding LL reservations *)
-      let changed = changed || not (Int_set.is_empty t.reservations) in
+      changed := c || not (Int_set.is_empty t.reservations);
       t.reservations <- Int_set.empty;
-      (Value.unit, changed)
+      Value.unit
   | Cas { expected; desired } ->
       if Value.equal t.value expected then begin
-        let changed =
+        changed :=
           (not (Value.equal t.value desired))
-          || not (Int_set.is_empty t.reservations)
-        in
+          || not (Int_set.is_empty t.reservations);
         t.value <- desired;
         t.reservations <- Int_set.empty;
-        (Value.bool true, changed)
+        Value.bool true
       end
-      else (Value.bool false, false)
+      else begin
+        changed := false;
+        Value.bool false
+      end
   | Fetch_add n ->
       let old = Value.to_int_exn t.value in
       t.value <- Value.int (old + n);
       t.reservations <- Int_set.empty;
-      (Value.int old, n <> 0)
+      changed := n <> 0;
+      Value.int old
   | Try_lock pid -> (
       match t.lock_holder with
       | None ->
           t.lock_holder <- Some pid;
-          (Value.bool true, true)
-      | Some holder -> (Value.bool (holder = pid), false))
+          changed := true;
+          Value.bool true
+      | Some holder ->
+          changed := false;
+          Value.bool (holder = pid))
   | Unlock pid -> (
       match t.lock_holder with
       | Some holder when holder = pid ->
           t.lock_holder <- None;
-          (Value.unit, true)
-      | Some _ | None -> (Value.unit, false))
+          changed := true;
+          Value.unit
+      | Some _ | None ->
+          changed := false;
+          Value.unit)
   | Load_linked pid ->
       t.reservations <- Int_set.add pid t.reservations;
-      (t.value, false)
+      changed := false;
+      t.value
   | Store_conditional (pid, v) ->
       if Int_set.mem pid t.reservations then begin
         t.value <- v;
         t.reservations <- Int_set.empty;
-        (Value.bool true, true)
+        changed := true;
+        Value.bool true
       end
-      else (Value.bool false, false)
+      else begin
+        changed := false;
+        Value.bool false
+      end
+
+(** [apply t prim] atomically applies [prim]; returns [(response, changed)]
+    where [changed] reports whether any component of the state mutated. *)
+let apply t (prim : Primitive.t) : Value.t * bool =
+  let changed = ref false in
+  let response = apply_into t prim ~changed in
+  (response, !changed)
+

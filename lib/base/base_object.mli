@@ -16,3 +16,8 @@ val apply : t -> Primitive.t -> Value.t * bool
     [(response, changed)], where [changed] reports whether any component
     of the state mutated.  Writes, successful CASes, fetch&adds and
     successful SCs invalidate outstanding LL reservations. *)
+
+val apply_into : t -> Primitive.t -> changed:bool ref -> Value.t
+(** Same step semantics as {!apply}, but the changed flag is written
+    through the caller's scratch ref instead of a fresh pair — the
+    allocation-free form {!Memory.apply} uses per step. *)

@@ -1,0 +1,38 @@
+(** A chunked, append-only vector of unboxed ints.
+
+    Fixed-size flat chunks behind a growable spine: appends never copy
+    old elements, so amortized allocation is one word per element (a
+    list cons costs three), and reads are O(1).  The hot-path work-pool
+    structure the step log, schedule sessions and cursor path buffers
+    are built on. *)
+
+type t
+
+val create : ?chunk_bits:int -> unit -> t
+(** [chunk_bits] (default 7, i.e. 128-element chunks — a compromise
+    between amortized overhead and the allocation floor a short-lived
+    vector pays for its first chunk) must lie in 2..20.
+    @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+
+val copy : t -> t
+(** An independent copy: later pushes or sets on either vector are not
+    seen by the other. *)
+val push : t -> int -> unit
+
+val get : t -> int -> int
+(** @raise Invalid_argument out of bounds. *)
+
+val unsafe_get : t -> int -> int
+(** Unchecked read, for callers that already hold a valid index. *)
+
+val set : t -> int -> int -> unit
+(** @raise Invalid_argument out of bounds. *)
+
+val iter : t -> (int -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val to_list : t -> int list
+
+val clear : t -> unit
+(** Reset length to zero; chunks are retained for reuse. *)

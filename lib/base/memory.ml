@@ -20,13 +20,19 @@ type t = {
   mutable names : string array;
   by_name : (string, Oid.t) Hashtbl.t;
   log : Access_log.t;
-  mutable hook : (Access_log.entry -> unit) option;
-      (** called after every logged step — the shared instrumentation
-          point TM layers use to attribute base-object traffic *)
-  mutable flight : (Access_log.entry -> unit) option;
+  mutable hook : (Access_log.t -> int -> unit) option;
+      (** called after every logged step with the log and the step's
+          index — the shared instrumentation point TM layers use to
+          attribute base-object traffic.  Index-based so the common case
+          (a counter bump keyed on the primitive kind) reads one column
+          instead of forcing an entry record per step *)
+  mutable flight : (Access_log.t -> int -> unit) option;
       (** second, independent per-step hook reserved for the flight
           recorder, so step recording composes with the TM telemetry
           hook above instead of replacing it *)
+  changed_scratch : bool ref;
+      (** reused out-param for {!Base_object.apply_into}, so a step does
+          not allocate a response pair *)
   mutable fault : fault_hook option;
       (** consulted before a primitive is applied: the chaos engine's
           injection point for spurious RMW failures *)
@@ -49,6 +55,7 @@ let create () =
     hook = None;
     flight = None;
     fault = None;
+    changed_scratch = ref false;
     doomed = Hashtbl.create 4;
     steps_c = Tm_obs.Metrics.counter m "mem_steps_total";
     prim_c =
@@ -121,20 +128,21 @@ let apply t ~pid ?tid (oid : Oid.t) (prim : Primitive.t) : Value.t =
         | Some Spurious_fail -> spurious_failure prim
         | None -> None)
   in
-  let response, changed =
+  let changed = t.changed_scratch in
+  let response =
     match faulted with
     | Some resp ->
         Tm_obs.Metrics.inc t.faults_c;
-        (resp, false)
-    | None -> Base_object.apply t.objects.(oid) prim
+        changed := false;
+        resp
+    | None -> Base_object.apply_into t.objects.(oid) prim ~changed
   in
-  let entry =
-    Access_log.record t.log ~pid ~tid ~oid ~prim ~response ~changed
-  in
+  let index = Access_log.length t.log in
+  Access_log.record t.log ~pid ~tid ~oid ~prim ~response ~changed:!changed;
   Tm_obs.Metrics.inc t.steps_c;
   Tm_obs.Metrics.inc t.prim_c.(Primitive.kind_index prim);
-  (match t.hook with Some f -> f entry | None -> ());
-  (match t.flight with Some f -> f entry | None -> ());
+  (match t.hook with Some f -> f t.log index | None -> ());
+  (match t.flight with Some f -> f t.log index | None -> ());
   response
 
 (** Debugging read that is not a step and is not logged. *)
@@ -185,6 +193,7 @@ let take_poison t pid =
 
 let pp_log ppf t =
   let name_of oid = name_of t oid in
-  Fmt.pf ppf "%a"
-    Fmt.(list ~sep:(any "@\n") (Access_log.pp_entry ~name_of))
-    (Access_log.entries t.log)
+  let first = ref true in
+  Access_log.iter t.log ~f:(fun e ->
+      if !first then first := false else Fmt.pf ppf "@\n";
+      Access_log.pp_entry ~name_of ppf e)

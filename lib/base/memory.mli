@@ -44,15 +44,17 @@ val peek : t -> Oid.t -> Value.t
 val log : t -> Access_log.t
 val step_count : t -> int
 
-val set_hook : t -> (Access_log.entry -> unit) -> unit
+val set_hook : t -> (Access_log.t -> int -> unit) -> unit
 (** Install the per-step instrumentation hook (replacing any previous
-    one).  It runs after each step is logged — the shared point where TM
-    layers attribute base-object traffic to telemetry counters.  The hook
-    must not itself apply primitives. *)
+    one).  It runs after each step is logged, receiving the log and the
+    step's index — the shared point where TM layers attribute base-object
+    traffic to telemetry counters.  Index-based so the common case reads
+    one column ({!Access_log.prim_at}) instead of forcing an entry record
+    per step.  The hook must not itself apply primitives. *)
 
 val clear_hook : t -> unit
 
-val set_flight_hook : t -> (Access_log.entry -> unit) -> unit
+val set_flight_hook : t -> (Access_log.t -> int -> unit) -> unit
 (** Install the flight-recorder step hook (replacing any previous one).
     A second, independent slot so step recording composes with the TM
     telemetry hook instead of replacing it; when unset the cost is one

@@ -1,0 +1,29 @@
+(** A chunked, append-only vector of boxed values — {!Intvec}'s
+    polymorphic sibling.  Appends never copy old elements (amortized one
+    word per element versus three for a list cons); reads are O(1).
+    Backs the access log's boxed columns and the history recorder's
+    event store. *)
+
+type 'a t
+
+val create : ?chunk_bits:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused chunk slots and is never returned.
+    [chunk_bits] (default 7, i.e. 128-element chunks) must lie in 2..20.
+    @raise Invalid_argument otherwise. *)
+
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val unsafe_get : 'a t -> int -> 'a
+(** Unchecked read, for callers that already hold a valid index. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit
+(** Reset length to zero; chunks are retained for reuse (dropped
+    elements stay reachable until overwritten). *)

@@ -16,8 +16,16 @@ type t =
 [@@deriving show { with_path = false }, eq, ord]
 
 let unit = VUnit
-let bool b = VBool b
-let int i = VInt i
+
+(* Values are immutable and compared structurally everywhere, so the two
+   booleans and the small integers every TM's lock/version words cycle
+   through can be shared instead of re-boxed on each step response. *)
+let vtrue = VBool true
+let vfalse = VBool false
+let bool b = if b then vtrue else vfalse
+
+let small_ints = Array.init 257 (fun i -> VInt (i - 1))
+let int i = if i >= -1 && i <= 255 then Array.unsafe_get small_ints (i + 1) else VInt i
 let str s = VStr s
 let pair a b = VPair (a, b)
 let list l = VList l

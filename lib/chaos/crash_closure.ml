@@ -68,7 +68,7 @@ let cuts ~(crash_steps : int list) ~(last : int) : int list =
 let check ?budget ?checkers (h : History.t) ~(cuts : int list) : flip list =
   Tm_obs.Sink.span "chaos.crash_closure" (fun () ->
       let full_core = core h in
-      if List.length (History.txns full_core) > max_core_txns then begin
+      if History.txn_count full_core > max_core_txns then begin
         Tm_obs.Sink.incr "chaos_closure_skipped_total";
         []
       end
@@ -89,7 +89,7 @@ let check ?budget ?checkers (h : History.t) ~(cuts : int list) : flip list =
           (* truncate the raw history, then project: a transaction aborted
              later may still be live or commit-pending at the cut *)
           let prefix = core (History.truncate_at h cut) in
-          if List.length (History.txns prefix) > max_core_txns then
+          if History.txn_count prefix > max_core_txns then
             Tm_obs.Sink.incr "chaos_closure_skipped_total"
           else
           List.iter

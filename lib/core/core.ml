@@ -26,6 +26,8 @@ module Prof = Tm_obs.Prof
 module Gcstat = Tm_obs.Gcstat
 
 (* substrate *)
+module Intvec = Tm_base.Intvec
+module Objvec = Tm_base.Objvec
 module Value = Tm_base.Value
 module Oid = Tm_base.Oid
 module Item = Tm_base.Item

@@ -51,6 +51,10 @@ val analyse : ?history:Tm_trace.History.t -> Access_log.entry list -> t
     commit/abort status and data-set sizes; contention comes from the
     log itself (Section-3 contention on base objects). *)
 
+val analyse_log : ?history:Tm_trace.History.t -> Access_log.t -> t
+(** [analyse] over the log structure itself: an index walk of the flat
+    columns, no entry records or list rescans. *)
+
 val register : ?labels:Tm_obs.Metrics.labels -> t -> unit
 (** Fold the cost into {!Tm_obs.Sink.default}: [cost_*_total] counters
     and [cost_txn_*] histograms, all carrying [labels]. *)

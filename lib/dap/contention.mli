@@ -14,6 +14,10 @@ val summarize : Access_log.entry list -> access_summary list
     [(Tid, Oid)] accesses collapse into one map entry, so the output is
     duplicate-free and deterministic across runs. *)
 
+val summarize_log : Access_log.t -> access_summary list
+(** [summarize] straight off the flat log columns: an index walk, no
+    entry records or list materialized. *)
+
 val contended_objects : access_summary -> access_summary -> Oid.t list
 (** Sorted by [Oid.compare], duplicate-free — stable lint witnesses. *)
 
@@ -22,3 +26,6 @@ type contention = { t1 : Tid.t; t2 : Tid.t; objects : Oid.t list }
 val all_contentions : Access_log.entry list -> contention list
 (** Every contending pair of transactions in the log, ordered by
     [(t1, t2)] with [t1 < t2]. *)
+
+val all_contentions_log : Access_log.t -> contention list
+(** [all_contentions] over the log structure itself. *)

@@ -103,18 +103,22 @@ let run_segment (impl : Tm_intf.impl) cfg ~segment ~txns_per_proc ~commits
     | Some e when not (Scheduler.injected e) -> raise e
     | Some _ | None -> ()
   in
+  (* closure-free round loop: one pass both steps the unfinished
+     processes and detects completion, so a round allocates nothing *)
+  let pid_arr = Array.of_list pids in
   let rec round () =
     if Sim.steps_taken c > cfg.budget then false
-    else if List.for_all (fun pid -> Sim.finished c pid) pids then true
     else begin
-      List.iter
-        (fun pid ->
-          if not (Sim.finished c pid) then begin
-            ignore (Sim.step c pid);
-            check_real_crash pid
-          end)
-        pids;
-      round ()
+      let all_done = ref true in
+      for i = 0 to Array.length pid_arr - 1 do
+        let pid = Array.unsafe_get pid_arr i in
+        if not (Sim.finished c pid) then begin
+          all_done := false;
+          ignore (Sim.step c pid);
+          check_real_crash pid
+        end
+      done;
+      if !all_done then true else round ()
     end
   in
   let completed = Tm_obs.Sink.span "soak.drive" round in

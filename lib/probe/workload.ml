@@ -55,42 +55,62 @@ let items_for (cfg : config) : Item.t list =
   shared @ private_
 
 (* the item set of one transaction attempt, decided deterministically from
-   the seeded RNG *)
-let txn_items cfg st ~pid =
+   the seeded RNG.  Items are drawn from pools rendered once per client,
+   so the per-transaction cost is the RNG draws alone; the draw sequence
+   (one conflict roll, then one pool index per item on the shared path,
+   in item order) is exactly the one [List.init] over sprintf produced. *)
+let txn_items cfg st ~shared_pool ~private_items =
   let shared = Random.State.int st 100 < cfg.conflict_pct in
-  List.init cfg.items_per_txn (fun i ->
-      if shared then
-        Item.v (Printf.sprintf "s%d" (Random.State.int st cfg.shared_items))
-      else Item.v (Printf.sprintf "p%d_%d" pid i))
+  let rec go i =
+    if i >= cfg.items_per_txn then []
+    else
+      let x =
+        if shared then shared_pool.(Random.State.int st cfg.shared_items)
+        else private_items.(i)
+      in
+      x :: go (i + 1)
+  in
+  go 0
+
+(* the read-modify-write body of one attempt (top-level, so a
+   transaction allocates no per-attempt closure) *)
+let rec run_ops (txn : Txn_api.txn) = function
+  | [] -> txn.Txn_api.try_commit ()
+  | x :: rest -> (
+      match txn.Txn_api.read x with
+      | Error () -> Error ()
+      | Ok v -> (
+          let v' =
+            Value.int ((match v with Value.VInt n -> n | _ -> 0) + 1)
+          in
+          match txn.Txn_api.write x v' with
+          | Error () -> Error ()
+          | Ok () -> run_ops txn rest))
+
+let rec attempt cfg (handle : Txn_api.handle) ~pid ~k ~commits ~aborts items n
+    =
+  let tid = Tid.v ((pid * 1_000_000) + (k * 100) + n) in
+  let txn = handle.Txn_api.begin_txn ~pid ~tid in
+  match run_ops txn items with
+  | Ok () -> incr commits
+  | Error () ->
+      incr aborts;
+      if n < cfg.max_retries then
+        attempt cfg handle ~pid ~k ~commits ~aborts items (n + 1)
 
 (* one client process: run its transaction stream with retries *)
 let client cfg (handle : Txn_api.handle) ~pid ~commits ~aborts () =
   let st = Random.State.make [| cfg.seed; pid |] in
+  let shared_pool =
+    Array.init cfg.shared_items (fun i -> Item.v (Printf.sprintf "s%d" i))
+  in
+  let private_items =
+    Array.init cfg.items_per_txn (fun i ->
+        Item.v (Printf.sprintf "p%d_%d" pid i))
+  in
   for k = 1 to cfg.txns_per_proc do
-    let items = txn_items cfg st ~pid in
-    let rec attempt n =
-      let tid = Tid.v ((pid * 1_000_000) + (k * 100) + n) in
-      let txn = handle.Txn_api.begin_txn ~pid ~tid in
-      let rec ops = function
-        | [] -> txn.Txn_api.try_commit ()
-        | x :: rest -> (
-            match txn.Txn_api.read x with
-            | Error () -> Error ()
-            | Ok v -> (
-                let v' =
-                  Value.int ((Option.value ~default:0 (Value.to_int v)) + 1)
-                in
-                match txn.Txn_api.write x v' with
-                | Error () -> Error ()
-                | Ok () -> ops rest))
-      in
-      match ops items with
-      | Ok () -> incr commits
-      | Error () ->
-          incr aborts;
-          if n < cfg.max_retries then attempt (n + 1)
-    in
-    attempt 0
+    let items = txn_items cfg st ~shared_pool ~private_items in
+    attempt cfg handle ~pid ~k ~commits ~aborts items 0
   done
 
 (** Run the workload under a fair round-robin schedule (one step per
@@ -122,25 +142,29 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
     | Some e when not (Scheduler.injected e) -> raise e
     | Some _ | None -> ()
   in
+  (* closure-free round loop: one pass both steps the unfinished
+     processes and detects completion, so a round allocates nothing *)
+  let pid_arr = Array.of_list pids in
   let rec round steps =
     if steps > budget then false
-    else if List.for_all (fun pid -> Sim.finished c pid) pids then true
     else begin
-      List.iter
-        (fun pid ->
-          if not (Sim.finished c pid) then begin
-            ignore (Sim.step c pid);
-            check_real_crash pid
-          end)
-        pids;
-      round (steps + cfg.n_procs)
+      let all_done = ref true in
+      for i = 0 to Array.length pid_arr - 1 do
+        let pid = Array.unsafe_get pid_arr i in
+        if not (Sim.finished c pid) then begin
+          all_done := false;
+          ignore (Sim.step c pid);
+          check_real_crash pid
+        end
+      done;
+      if !all_done then true else round (steps + cfg.n_procs)
     end
   in
   let completed = round 0 in
   (* snapshot without the scripted-schedule flight context — the scaling
      workload writes its own run metadata below *)
   let r = Sim.snapshot ~flight:false c in
-  let log = r.Sim.log in
+  let alog = Memory.log r.Sim.mem in
   (* fill in the run context so an installed recorder's artifact is
      replayable/lintable, as Sim.replay does for scripted schedules *)
   (match Flight.default () with
@@ -153,9 +177,9 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
       Flight.set_meta fl "seed" (string_of_int cfg.seed);
       Flight.set_meta fl "stop"
         (if completed then "completed" else "budget-exhausted");
-      Flight.set_meta fl "steps" (string_of_int (List.length log))
+      Flight.set_meta fl "steps" (string_of_int (Access_log.length alog))
   | None -> ());
-  let contentions = Contention.all_contentions log in
+  let contentions = Contention.all_contentions_log alog in
   (* data sets for DAP classification: collect per-txn items from the
      history *)
   let h = r.Sim.history in
@@ -175,7 +199,7 @@ let run (impl : Tm_intf.impl) (cfg : config) : stats =
   in
   let stats =
     {
-      steps = List.length log;
+      steps = Access_log.length alog;
       commits = !commits;
       aborts = !aborts;
       contentions = List.length contentions;

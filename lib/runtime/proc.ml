@@ -34,3 +34,24 @@ let try_lock ?tid ~pid oid =
   Value.to_bool_exn (access ?tid oid (Primitive.Try_lock pid))
 
 let unlock ?tid ~pid oid = ignore (access ?tid oid (Primitive.Unlock pid))
+
+(* [*_t] variants take the transaction attribution as an already-built
+   option: a TM context allocates [Some tid] once at begin time and
+   passes it on every step, where the labelled-argument wrappers above
+   box a fresh [Some] per call. *)
+
+let access_t ~tid oid prim = Effect.perform (Step { oid; prim; tid })
+let read_t ~tid oid = access_t ~tid oid Primitive.Read
+let write_t ~tid oid v = ignore (access_t ~tid oid (Primitive.Write v))
+
+let cas_t ~tid oid ~expected ~desired =
+  Value.to_bool_exn (access_t ~tid oid (Primitive.Cas { expected; desired }))
+
+let fetch_add_t ~tid oid n =
+  Value.to_int_exn (access_t ~tid oid (Primitive.Fetch_add n))
+
+let try_lock_t ~tid ~pid oid =
+  Value.to_bool_exn (access_t ~tid oid (Primitive.Try_lock pid))
+
+let unlock_t ~tid ~pid oid =
+  ignore (access_t ~tid oid (Primitive.Unlock pid))

@@ -26,3 +26,21 @@ val cas : ?tid:Tid.t -> Oid.t -> expected:Value.t -> desired:Value.t -> bool
 val fetch_add : ?tid:Tid.t -> Oid.t -> int -> int
 val try_lock : ?tid:Tid.t -> pid:int -> Oid.t -> bool
 val unlock : ?tid:Tid.t -> pid:int -> Oid.t -> unit
+
+(** {1 Pre-boxed attribution}
+
+    The [*_t] variants take the transaction attribution as an
+    already-built option: a TM context allocates [Some tid] once at
+    begin time and passes it on every step, where the [?tid] wrappers
+    above box a fresh [Some] per call. *)
+
+val access_t : tid:Tid.t option -> Oid.t -> Primitive.t -> Value.t
+val read_t : tid:Tid.t option -> Oid.t -> Value.t
+val write_t : tid:Tid.t option -> Oid.t -> Value.t -> unit
+
+val cas_t :
+  tid:Tid.t option -> Oid.t -> expected:Value.t -> desired:Value.t -> bool
+
+val fetch_add_t : tid:Tid.t option -> Oid.t -> int -> int
+val try_lock_t : tid:Tid.t option -> pid:int -> Oid.t -> bool
+val unlock_t : tid:Tid.t option -> pid:int -> Oid.t -> unit

@@ -155,7 +155,7 @@ type session = {
   budget : int;  (* bounds each [Until_done] segment *)
   parked : (int, unit) Hashtbl.t;
   mutable crashes_rev : (int * int) list;
-  mutable steps_rev : int list;  (* per executed atom, newest first *)
+  steps_per_atom_vec : Tm_base.Intvec.t;  (* per executed atom, in order *)
   mutable stopped : stop option;  (* [Some _] once the schedule halted *)
   mutable total_steps : int;  (* steps executed across all atoms *)
   mutable on_tick : int -> unit;
@@ -170,7 +170,7 @@ let session ?(budget = 100_000) sched =
     budget;
     parked = Hashtbl.create 4;
     crashes_rev = [];
-    steps_rev = [];
+    steps_per_atom_vec = Tm_base.Intvec.create ~chunk_bits:6 ();
     stopped = None;
     total_steps = 0;
     on_tick = ignore;
@@ -186,89 +186,109 @@ type feed_outcome = {
 
 let session_stopped s = s.stopped <> None
 
-(** Execute one atom.  A no-op once the session has stopped (the atom is
-    neither executed nor counted, exactly as [run] abandons the tail of
-    its atom list).  Injected crash-stops do {e not} stop the session —
-    the survivors keep running, which is the whole point of a chaos run;
-    only a genuine escaping exception or an exhausted [Until_done] budget
-    does. *)
-let feed (s : session) (atom : atom) : feed_outcome =
+(* Count an executed atom: record its step tally, then fire the progress
+   hook if it moved.  [stopped] (when the atom halted the session) must
+   already be set so the hook observes the final state. *)
+let count_atom s n =
+  Tm_base.Intvec.push s.steps_per_atom_vec n;
+  if n > 0 then begin
+    s.total_steps <- s.total_steps + n;
+    s.on_tick s.total_steps
+  end
+
+let stall_of s pid =
+  {
+    stalled_pid = pid;
+    last = Access_log.last_by_pid (Memory.log (Scheduler.memory s.sched)) pid;
+  }
+
+(** Execute one atom; returns the steps it actually took.  The
+    allocation-free core of {!feed} (top-level helpers, int result):
+    whether the atom halted the session is observable via
+    {!session_stopped}.  A no-op once the session has stopped (the atom
+    is neither executed nor counted, exactly as [run] abandons the tail
+    of its atom list).  Injected crash-stops do {e not} stop the session
+    — the survivors keep running, which is the whole point of a chaos
+    run; only a genuine escaping exception or an exhausted [Until_done]
+    budget does. *)
+let feed_steps (s : session) (atom : atom) : int =
   match s.stopped with
-  | Some _ -> { steps = 0; halted = true }
+  | Some _ -> 0
   | None -> (
-      let mem = Scheduler.memory s.sched in
-      let stall pid =
-        {
-          stalled_pid = pid;
-          last = Access_log.last_by_pid (Memory.log mem) pid;
-        }
-      in
-      let tick n =
-        if n > 0 then begin
-          s.total_steps <- s.total_steps + n;
-          s.on_tick s.total_steps
-        end
-      in
-      let ok n =
-        s.steps_rev <- n :: s.steps_rev;
-        tick n;
-        { steps = n; halted = false }
-      in
-      (* a halting atom still records its step count (if any): the steps
-         it took are part of the state it left behind *)
-      let halt stop counted =
-        s.stopped <- Some stop;
-        (match counted with
-        | Some n ->
-            s.steps_rev <- n :: s.steps_rev;
-            tick n
-        | None -> ());
-        { steps = Option.value ~default:0 counted; halted = true }
-      in
       match atom with
       | Crash pid ->
           Tm_obs.Sink.incr "chaos_crash_injected_total";
-          s.crashes_rev <- (pid, Memory.step_count mem) :: s.crashes_rev;
+          s.crashes_rev <-
+            (pid, Memory.step_count (Scheduler.memory s.sched))
+            :: s.crashes_rev;
           Scheduler.inject_crash s.sched pid;
-          ok 0
+          count_atom s 0;
+          0
       | Park pid ->
           Tm_obs.Sink.incr "chaos_park_total";
           Hashtbl.replace s.parked pid ();
-          ok 0
+          count_atom s 0;
+          0
       | Unpark pid ->
           Hashtbl.remove s.parked pid;
-          ok 0
+          count_atom s 0;
+          0
       | Poison pid ->
           Tm_obs.Sink.incr "chaos_poison_injected_total";
-          Memory.poison mem pid;
-          ok 0
+          Memory.poison (Scheduler.memory s.sched) pid;
+          count_atom s 0;
+          0
       | Steps (pid, n) ->
-          if Hashtbl.mem s.parked pid then ok 0
-          else
+          if Hashtbl.mem s.parked pid then begin
+            count_atom s 0;
+            0
+          end
+          else begin
             let taken = Scheduler.run_steps s.sched pid n in
-            (match Scheduler.crashed s.sched pid with
-            | Some e when not (Scheduler.injected e) ->
-                halt (Crashed (pid, e)) (Some taken)
-            | Some _ | None -> ok taken)
+            (* a halting atom still records its step count: the steps it
+               took are part of the state it left behind *)
+            (match Scheduler.crash_state s.sched pid with
+            | Scheduler.Genuine e -> s.stopped <- Some (Crashed (pid, e))
+            | Scheduler.No_crash | Scheduler.Injected_stop -> ());
+            count_atom s taken;
+            taken
+          end
       | Until_done pid -> (
-          if Hashtbl.mem s.parked pid then ok 0
+          if Hashtbl.mem s.parked pid then begin
+            count_atom s 0;
+            0
+          end
           else
             match Scheduler.run_solo s.sched pid ~budget:s.budget with
-            | Scheduler.Done n -> ok n
+            | Scheduler.Done n ->
+                count_atom s n;
+                n
             | Scheduler.Out_of_budget ->
-                halt (Budget_exhausted (stall pid)) (Some s.budget)
+                s.stopped <- Some (Budget_exhausted (stall_of s pid));
+                count_atom s s.budget;
+                s.budget
             | Scheduler.Crash e when Scheduler.injected e ->
                 (* a previously crash-stopped process will never finish;
                    skip its solo segment and keep the schedule going *)
-                ok 0
-            | Scheduler.Crash e -> halt (Crashed (pid, e)) None))
+                count_atom s 0;
+                0
+            | Scheduler.Crash e ->
+                (* not counted: the halting solo segment of a genuine
+                   crash never reported a step tally *)
+                s.stopped <- Some (Crashed (pid, e));
+                0))
+
+(** {!feed_steps} with the legacy boxed outcome. *)
+let feed (s : session) (atom : atom) : feed_outcome =
+  let steps = feed_steps s atom in
+  { steps; halted = s.stopped <> None }
 
 (** The report of everything fed so far ([Completed] while still
     running).  Cheap and side-effect free: callable mid-session. *)
 let session_report (s : session) : report =
   {
     stop = Option.value ~default:Completed s.stopped;
-    steps_per_atom = List.rev s.steps_rev;
+    steps_per_atom = Tm_base.Intvec.to_list s.steps_per_atom_vec;
     crashes = List.rev s.crashes_rev;
   }
 

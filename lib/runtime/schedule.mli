@@ -101,6 +101,12 @@ val feed : session -> atom -> feed_outcome
     session has stopped — matching how {!run} abandons the tail of its
     atom list. *)
 
+val feed_steps : session -> atom -> int
+(** The allocation-free core of {!feed}: same execution, but only the
+    step tally is returned — whether the atom halted the session is
+    observable via {!session_stopped}.  The per-step engines ([Sim.step],
+    replay loops) use this form. *)
+
 val session_stopped : session -> bool
 
 val set_tick : session -> (int -> unit) -> unit

@@ -19,29 +19,61 @@ let injected = function Injected_crash _ -> true | _ -> false
 
 type status =
   | Not_started of (unit -> unit)
-  | Pending of Proc.request * (Value.t, unit) Effect.Deep.continuation
+  | Pending of (Value.t, unit) Effect.Deep.continuation
+      (* the request itself lives in the cell's [req] field: splitting it
+         off keeps the per-step [Pending] box at its minimum size *)
   | Stepping  (* transient marker while a continuation is running *)
   | Finished
   | Failed of exn
 
-type cell = { pid : int; mutable status : status }
+type cell = {
+  pid : int;
+  mutable status : status;
+  mutable req : Proc.request;  (* meaningful only while status = Pending *)
+  mutable on_step : ((Value.t, unit) Effect.Deep.continuation -> unit) option;
+      (* the effect handler's resume closure, built once per process so
+         performing a step allocates neither a closure nor its [Some] *)
+}
 
-type t = { mem : Memory.t; cells : (int, cell) Hashtbl.t }
+let dummy_req : Proc.request =
+  { Proc.oid = Oid.of_int 0; prim = Primitive.Read; tid = None }
 
-let create mem = { mem; cells = Hashtbl.create 8 }
+let make_cell pid f =
+  let c = { pid; status = Not_started f; req = dummy_req; on_step = None } in
+  c.on_step <- Some (fun k -> c.status <- Pending k);
+  c
+
+(* Cells live in a dense array indexed by pid (pids are small ints chosen
+   by setups): stepping a process is an array read, not a hashtable probe
+   that boxes its answer in an option on every one of the millions of
+   steps a soak run takes. *)
+type t = { mem : Memory.t; mutable cells : cell option array }
+
+let create mem = { mem; cells = Array.make 8 None }
 let memory t = t.mem
 
 let spawn t ~pid f =
-  if Hashtbl.mem t.cells pid then
-    invalid_arg (Printf.sprintf "Scheduler.spawn: pid %d already exists" pid);
+  if pid < 0 then invalid_arg "Scheduler.spawn: negative pid";
+  if pid >= Array.length t.cells then begin
+    let cap = max (pid + 1) (2 * Array.length t.cells) in
+    let cells = Array.make cap None in
+    Array.blit t.cells 0 cells 0 (Array.length t.cells);
+    t.cells <- cells
+  end;
+  (match t.cells.(pid) with
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Scheduler.spawn: pid %d already exists" pid)
+  | None -> ());
   Tm_obs.Sink.incr "sched_spawn_total";
-  Hashtbl.replace t.cells pid { pid; status = Not_started f }
+  t.cells.(pid) <- Some (make_cell pid f)
 
 let cell t pid =
-  match Hashtbl.find_opt t.cells pid with
-  | Some c -> c
-  | None ->
-      invalid_arg (Printf.sprintf "Scheduler.step: unknown pid %d" pid)
+  if pid >= 0 && pid < Array.length t.cells then
+    match Array.unsafe_get t.cells pid with
+    | Some c -> c
+    | None ->
+        invalid_arg (Printf.sprintf "Scheduler.step: unknown pid %d" pid)
+  else invalid_arg (Printf.sprintf "Scheduler.step: unknown pid %d" pid)
 
 let handler (c : cell) : (unit, unit) Effect.Deep.handler =
   {
@@ -54,9 +86,10 @@ let handler (c : cell) : (unit, unit) Effect.Deep.handler =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
         | Proc.Step req ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                c.status <- Pending (req, k))
+            (* the GADT match refines [a] to [Value.t], so the cell's
+               pre-built resume closure is returned as-is *)
+            c.req <- req;
+            (c.on_step : ((a, unit) Effect.Deep.continuation -> unit) option)
         | _ -> None);
   }
 
@@ -77,7 +110,8 @@ let step t pid : step_result =
   match c.status with
   | Finished -> Already_finished
   | Failed e -> Crashed e
-  | Pending (req, k) ->
+  | Pending k ->
+      let req = c.req in
       let resp =
         Memory.apply t.mem ~pid ?tid:req.tid req.oid req.prim
       in
@@ -110,19 +144,34 @@ let finished t pid =
     is stable until [pid] itself is stepped, which is what makes it
     usable as the conflict oracle of a partial-order-reduced search. *)
 let pending t pid =
-  match (cell t pid).status with
-  | Pending (req, _) -> Some req
+  let c = cell t pid in
+  match c.status with
+  | Pending _ -> Some c.req
   | Not_started _ | Stepping | Finished | Failed _ -> None
 
 let crashed t pid =
   match (cell t pid).status with Failed e -> Some e | _ -> None
+
+type crash_state = No_crash | Injected_stop | Genuine of exn
+
+(** Allocation-free crash query for the schedule interpreter, which asks
+    after every quantum: the common answers carry no payload. *)
+let crash_state t pid =
+  match (cell t pid).status with
+  | Failed e -> if injected e then Injected_stop else Genuine e
+  | _ -> No_crash
 
 let runnable t pid =
   match (cell t pid).status with
   | Not_started _ | Pending _ -> true
   | Stepping | Finished | Failed _ -> false
 
-let pids t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.cells [])
+let pids t =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (match t.cells.(i) with Some _ -> i :: acc | None -> acc)
+  in
+  go (Array.length t.cells - 1) []
 
 (** Run [pid] for at most [n] steps; returns the number of steps taken
     (fewer than [n] only if the process finished or crashed). *)

@@ -23,7 +23,7 @@ val create : Memory.t -> t
 val memory : t -> Memory.t
 
 val spawn : t -> pid:int -> (unit -> unit) -> unit
-(** @raise Invalid_argument if [pid] already exists. *)
+(** @raise Invalid_argument if [pid] already exists or is negative. *)
 
 type step_result = Stepped | Already_finished | Crashed of exn
 
@@ -39,6 +39,12 @@ val inject_crash : t -> int -> unit
 
 val finished : t -> int -> bool
 val crashed : t -> int -> exn option
+
+type crash_state = No_crash | Injected_stop | Genuine of exn
+
+val crash_state : t -> int -> crash_state
+(** Allocation-free form of {!crashed} for per-quantum interrogation: the
+    two common answers carry no payload. *)
 
 val pending : t -> int -> Proc.request option
 (** The request [pid] will issue at its next step, if its local code has

@@ -45,13 +45,43 @@ type live = {
 type cursor = {
   setup : setup;
   budget : int;
-  mutable path_rev : Schedule.atom list;  (* executed atoms, newest first *)
+  path : Intvec.t;  (* executed atoms, packed one int each, in order *)
   mutable live : live option;  (* None: a fork not yet re-materialized *)
   mutable tick : (int -> unit) option;
       (* live-progress hook; installed on the session only after a
          re-materialization has replayed the prefix, so replays never
          re-fire ticks that already happened *)
 }
+
+(* The executed path is stored packed, one int per atom, in an
+   append-only {!Intvec} rather than as a cons per step: tag in the low 3
+   bits, pid in the next 21, the [Steps] count above.  Decoding happens
+   only on the cold paths (re-materialization replays, [path],
+   snapshot metadata). *)
+
+let encode_atom = function
+  | Schedule.Steps (pid, n) -> (n lsl 24) lor (pid lsl 3)
+  | Schedule.Until_done pid -> (pid lsl 3) lor 1
+  | Schedule.Crash pid -> (pid lsl 3) lor 2
+  | Schedule.Park pid -> (pid lsl 3) lor 3
+  | Schedule.Unpark pid -> (pid lsl 3) lor 4
+  | Schedule.Poison pid -> (pid lsl 3) lor 5
+
+let decode_atom code : Schedule.atom =
+  let pid = (code lsr 3) land 0x1F_FFFF in
+  match code land 7 with
+  | 0 -> Schedule.Steps (pid, code lsr 24)
+  | 1 -> Schedule.Until_done pid
+  | 2 -> Schedule.Crash pid
+  | 3 -> Schedule.Park pid
+  | 4 -> Schedule.Unpark pid
+  | _ -> Schedule.Poison pid
+
+let path_atoms (c : cursor) : Schedule.atom list =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (decode_atom (Intvec.get c.path i) :: acc)
+  in
+  go (Intvec.length c.path - 1) []
 
 (* Build (or rebuild) the live world: fresh memory and recorder, the
    global flight recorder reset and hooked in (one flight trace = one
@@ -70,7 +100,8 @@ let materialize (c : cursor) : live =
       (match Flight.default () with
       | Some fl ->
           Flight.reset fl;
-          Memory.set_flight_hook mem (Flight.record fl)
+          Memory.set_flight_hook mem (fun log i ->
+              Flight.record fl (Access_log.get log i))
       | None -> ());
       let programs = c.setup mem recorder in
       let sched = Scheduler.create mem in
@@ -78,14 +109,16 @@ let materialize (c : cursor) : live =
       let session = Schedule.session ~budget:c.budget sched in
       let l = { mem; recorder; sched; session } in
       c.live <- Some l;
-      List.iter
-        (fun a -> ignore (Schedule.feed session a))
-        (List.rev c.path_rev);
+      for i = 0 to Intvec.length c.path - 1 do
+        ignore (Schedule.feed_steps session (decode_atom (Intvec.get c.path i)))
+      done;
       Option.iter (Schedule.set_tick session) c.tick;
       l
 
 let start ?(budget = 100_000) (setup : setup) : cursor =
-  let c = { setup; budget; path_rev = []; live = None; tick = None } in
+  let c =
+    { setup; budget; path = Intvec.create (); live = None; tick = None }
+  in
   ignore (materialize c);
   c
 
@@ -99,9 +132,15 @@ let on_tick (c : cursor) f =
   | Some l -> Schedule.set_tick l.session f
   | None -> ()
 
-let fork (c : cursor) : cursor = { c with live = None }
+(* The fork copies the packed path (O(path length) int blits): the
+   parent keeps appending to its own buffer, so the two cursors must not
+   share it.  Still far cheaper than the replay the fork's first advance
+   will pay anyway. *)
+let fork (c : cursor) : cursor =
+  { c with live = None; path = Intvec.copy c.path }
+
 let is_live (c : cursor) : bool = c.live <> None
-let path (c : cursor) : Schedule.atom list = List.rev c.path_rev
+let path (c : cursor) : Schedule.atom list = path_atoms c
 
 let finished (c : cursor) pid = Scheduler.finished (materialize c).sched pid
 let crashed (c : cursor) pid = Scheduler.crashed (materialize c).sched pid
@@ -120,9 +159,22 @@ let apply (c : cursor) (atom : Schedule.atom) : Schedule.feed_outcome =
     { Schedule.steps = 0; halted = true }
   else begin
     let f = Schedule.feed l.session atom in
-    c.path_rev <- atom :: c.path_rev;
+    Intvec.push c.path (encode_atom atom);
     f
   end
+
+(* [Steps (pid, 1)] atoms are immutable and identical across every cursor,
+   so the single-step engine below shares one per small pid instead of
+   allocating one per step taken. *)
+let step1_cache = Array.init 64 (fun pid -> Schedule.Steps (pid, 1))
+
+let step1 pid =
+  if pid >= 0 && pid < Array.length step1_cache then
+    Array.unsafe_get step1_cache pid
+  else Schedule.Steps (pid, 1)
+
+(* encode_atom (Steps (pid, 1)), without the atom *)
+let step1_code pid = (1 lsl 24) lor (pid lsl 3)
 
 (** Advance [pid] by one atomic step; true iff the process progressed —
     it took a memory step, or its (empty-bodied) program finished on
@@ -134,13 +186,12 @@ let apply (c : cursor) (atom : Schedule.atom) : Schedule.feed_outcome =
 let step (c : cursor) pid : bool =
   let l = materialize c in
   let was_finished = Scheduler.finished l.sched pid in
-  let f = Schedule.feed l.session (Schedule.Steps (pid, 1)) in
+  let atom = step1 pid in
+  let taken = Schedule.feed_steps l.session atom in
   let progressed =
-    f.Schedule.steps > 0
-    || ((not was_finished) && Scheduler.finished l.sched pid)
+    taken > 0 || ((not was_finished) && Scheduler.finished l.sched pid)
   in
-  if progressed then
-    c.path_rev <- Schedule.Steps (pid, 1) :: c.path_rev;
+  if progressed then Intvec.push c.path (step1_code pid);
   progressed
 
 (* -- snapshots --------------------------------------------------------- *)
@@ -166,12 +217,10 @@ let per_pid_steps log =
     always did). *)
 let snapshot ?(flight = true) ?schedule (c : cursor) : result =
   let l = materialize c in
+  let alog = Memory.log l.mem in
   let report = Schedule.session_report l.session in
-  let log = Access_log.entries (Memory.log l.mem) in
-  let per_pid = per_pid_steps log in
-  let steps_of pid =
-    Option.value ~default:0 (Hashtbl.find_opt per_pid pid)
-  in
+  let log = Access_log.entries alog in
+  let steps_of pid = Access_log.pid_step_count alog pid in
   (if flight then
      match Flight.default () with
      | Some fl ->
@@ -182,7 +231,7 @@ let snapshot ?(flight = true) ?schedule (c : cursor) : result =
            (Schedule.to_string
               (match schedule with
               | Some atoms -> atoms
-              | None -> List.rev c.path_rev));
+              | None -> path_atoms c));
          Flight.set_meta fl "budget" (string_of_int c.budget);
          Flight.set_meta fl "stop"
            (Schedule.stop_to_string report.Schedule.stop);
@@ -196,7 +245,7 @@ let snapshot ?(flight = true) ?schedule (c : cursor) : result =
                   (List.map
                      (fun (pid, step) -> Printf.sprintf "p%d@%d" pid step)
                      cs)));
-         Flight.set_meta fl "steps" (string_of_int (List.length log))
+         Flight.set_meta fl "steps" (string_of_int (Access_log.length alog))
      | None -> ());
   {
     mem = l.mem;
@@ -221,7 +270,7 @@ let replay ?(budget = 100_000) (setup : setup) (atoms : Schedule.atom list)
     (fun () ->
       Tm_obs.Sink.span "sim.replay" (fun () ->
           let c =
-            { setup; budget; path_rev = []; live = None; tick = None }
+            { setup; budget; path = Intvec.create (); live = None; tick = None }
           in
           let l = materialize c in
           mem_ref := Some l.mem;

@@ -121,9 +121,7 @@ let run_cell (s : Scenario.t) ~(inject : inject) ~seed
                      cores too large to enumerate (same discipline as the
                      crash-closure pass) *)
                   let core = Crash_closure.core r.Sim.history in
-                  if
-                    List.length (History.txns core)
-                    > Crash_closure.max_core_txns
+                  if History.txn_count core > Crash_closure.max_core_txns
                   then None
                   else
                     let checker = Checkers.find_exn name in
@@ -206,16 +204,19 @@ let run_row ?(tick = fun () -> ()) ~(inject : inject) ~seed
       cells
   in
   let failures = List.filter (fun c -> c.reason <> None) results in
+  (* counts taken once, not re-derived per field *)
+  let n_cells = List.length results in
+  let n_failed = List.length failures in
   {
     id = s.Scenario.id;
     family = Scenario.family_to_string s.Scenario.family;
     fault = Fault.name s.Scenario.fault;
-    cells = List.length results;
-    passed = List.length results - List.length failures;
-    failed = List.length failures;
+    cells = n_cells;
+    passed = n_cells - n_failed;
+    failed = n_failed;
     quarantine = s.Scenario.quarantine;
     status =
-      (if failures = [] then "pass"
+      (if n_failed = 0 then "pass"
        else if s.Scenario.quarantine then "quarantine"
        else "fail");
     failures;

@@ -1,0 +1,36 @@
+(* Dense integer ids for a TM's item set.
+
+   Ids are assigned in [Item.compare] order, so sorting a transaction's
+   touched ids with plain int comparison reproduces byte-for-byte the
+   item-order walks (deadlock-free lock acquisition, write-back) that
+   the assoc-list implementations performed with string compares.  The
+   per-item base-object handles live in plain arrays indexed by id, so
+   the hot path does one string hash per operation (the [id] lookup) and
+   integer indexing from there on. *)
+
+open Tm_base
+
+type t = { ids : (Item.t, int) Hashtbl.t; items : Item.t array }
+
+let create (items : Item.t list) : t =
+  let arr = Array.of_list (List.sort_uniq Item.compare items) in
+  let ids = Hashtbl.create (max 16 (Array.length arr)) in
+  Array.iteri (fun i x -> Hashtbl.replace ids x i) arr;
+  { ids; items = arr }
+
+let size t = Array.length t.items
+
+(** @raise Not_found for an item outside the [create]-time set, exactly
+    as the Hashtbl-closure lookups this replaces did. *)
+let id t x : int = Hashtbl.find t.ids x
+
+let item t i : Item.t = t.items.(i)
+
+(** Allocate one [Oid.t] per item via [alloc] (called in the order of the
+    original [items] list, preserving historical oid numbering), returned
+    as an id-indexed array. *)
+let alloc_oids (tbl : t) (items : Item.t list) ~(alloc : Item.t -> Oid.t) :
+    Oid.t array =
+  let oids = Array.make (size tbl) (Oid.of_int 0) in
+  List.iter (fun x -> oids.(id tbl x) <- alloc x) items;
+  oids

@@ -13,7 +13,8 @@
                   same Figure-5/6 violations, with s1/s2 now being SC
                   steps instead of CASes.
 
-   Per item x: one plain register [ll:x]; reads LL it (leaving a
+   Per item x: one plain register [ll:x] (items as dense int ids via
+   {!Item_table}, id order = item order); reads LL it (leaving a
    reservation that doubles as validation), commits SC it (read-write
    items reuse the read's reservation, so lost updates are impossible on a
    single item; read-only items are validated by an SC of the same value,
@@ -27,77 +28,82 @@ let describe =
   "strict DAP + obstruction-free via LL/SC; consistency broken (the \
    primitive-agnostic victim)"
 
-type t = { cell_of : Item.t -> Oid.t }
+type t = { tbl : Item_table.t; cell_oids : Oid.t array }
 
 let create mem ~items =
-  let cells = Hashtbl.create 16 in
-  List.iter
-    (fun x ->
-      Hashtbl.replace cells x
-        (Memory.alloc mem ~name:("ll:" ^ Item.name x) Value.initial))
-    items;
-  { cell_of = (fun x -> Hashtbl.find cells x) }
+  let tbl = Item_table.create items in
+  let cell_oids =
+    Item_table.alloc_oids tbl items ~alloc:(fun x ->
+        Memory.alloc mem ~name:("ll:" ^ Item.name x) Value.initial)
+  in
+  { tbl; cell_oids }
 
 type ctx = {
   t : t;
   pid : int;
   tid : Tid.t;
-  mutable rset : (Item.t * Value.t) list;  (* value at load-linked *)
-  mutable wset : (Item.t * Value.t) list;
+  topt : Tid.t option;  (* [Some tid], boxed once so steps don't re-box it *)
+  mutable rset : (int * Value.t) list;  (* item id, value at load-linked *)
+  mutable wset : (int * Value.t) list;
   mutable dead : bool;
 }
 
-let begin_txn t ~pid ~tid = { t; pid; tid; rset = []; wset = []; dead = false }
+let begin_txn t ~pid ~tid = { t; pid; tid; topt = Some tid; rset = []; wset = []; dead = false }
 
-let ll c x =
-  Proc.access ~tid:c.tid (c.t.cell_of x) (Primitive.Load_linked c.pid)
+let ll c id =
+  Proc.access_t ~tid:c.topt
+    (Array.unsafe_get c.t.cell_oids id)
+    (Primitive.Load_linked c.pid)
 
-let sc c x v =
+let sc c id v =
   Value.to_bool_exn
-    (Proc.access ~tid:c.tid (c.t.cell_of x)
+    (Proc.access_t ~tid:c.topt
+       (Array.unsafe_get c.t.cell_oids id)
        (Primitive.Store_conditional (c.pid, v)))
 
 let read c x =
   if c.dead then Error ()
   else
-    match List.assoc_opt x c.wset with
+    let id = Item_table.id c.t.tbl x in
+    match List.assoc_opt id c.wset with
     | Some v -> Ok v
     | None ->
-        let v = ll c x in
-        if not (List.mem_assoc x c.rset) then c.rset <- (x, v) :: c.rset;
+        let v = ll c id in
+        if not (List.mem_assoc id c.rset) then c.rset <- (id, v) :: c.rset;
         Ok v
 
 let write c x v =
   if c.dead then Error ()
   else begin
-    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    let id = Item_table.id c.t.tbl x in
+    c.wset <- (id, v) :: List.remove_assoc id c.wset;
     Ok ()
   end
+
+(* 1. validate read-only items: SC their own value back — succeeds iff
+   nothing touched the cell since our LL *)
+let rec validate c = function
+  | [] -> true
+  | (id, v) :: rest ->
+      (List.mem_assoc id c.wset || sc c id v) && validate c rest
 
 let try_commit c =
   if c.dead then Error ()
   else begin
     c.dead <- true;
-    (* 1. validate read-only items: SC their own value back — succeeds iff
-       nothing touched the cell since our LL *)
-    let reads_ok =
-      List.for_all
-        (fun (x, v) -> List.mem_assoc x c.wset || sc c x v)
-        c.rset
-    in
-    if not reads_ok then Error ()
+    if not (validate c c.rset) then Error ()
     else begin
       (* 2. install the write set one SC at a time (the torn write-back);
          read-write items reuse the read's reservation, write-only items
          take a fresh LL immediately before their SC *)
       let rec install = function
         | [] -> Ok ()
-        | (x, v) :: rest ->
-            if not (List.mem_assoc x c.rset) then ignore (ll c x);
-            if sc c x v then install rest
+        | (id, v) :: rest ->
+            if not (List.mem_assoc id c.rset) then ignore (ll c id);
+            if sc c id v then install rest
             else Error () (* someone interfered: abort, obstruction-free *)
       in
-      install (List.sort (fun (a, _) (b, _) -> Item.compare a b) c.wset)
+      install (List.sort (fun (a, _) (b, _) -> Int.compare a b) c.wset)
     end
   end
 

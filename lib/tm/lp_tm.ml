@@ -22,7 +22,9 @@
    lost to an interfering step, or a version moved under a read — always
    means "abort self", never "wait".  The per-read revalidation of the
    whole read set is the time cost the paper proves inherent: progressive
-   TMs with invisible reads must do incremental validation. *)
+   TMs with invisible reads must do incremental validation.  Items are
+   dense int ids ({!Item_table}); id order = item order, so the commit's
+   publish walk is unchanged. *)
 
 open Tm_base
 open Tm_runtime
@@ -32,50 +34,48 @@ let name = "lp-progressive"
 let describe =
   "strict DAP + opaque, progressive: conflict => abort self (weakens L)"
 
-type t = { loc_of : Item.t -> Oid.t }
+type t = { tbl : Item_table.t; loc_oids : Oid.t array }
 
 let unlocked = -1
 
 let cell ~owner ~ver v = Value.list [ Value.int owner; Value.int ver; v ]
 
-let decode = function
-  | Value.VList [ Value.VInt owner; Value.VInt ver; v ] -> (owner, ver, v)
-  | _ -> invalid_arg "lp: bad locator"
-
 let create mem ~items =
-  let locs = Hashtbl.create 16 in
-  List.iter
-    (fun x ->
-      Hashtbl.replace locs x
-        (Memory.alloc mem
-           ~name:("loc:" ^ Item.name x)
-           (cell ~owner:unlocked ~ver:0 Value.initial)))
-    items;
-  { loc_of = (fun x -> Hashtbl.find locs x) }
+  let tbl = Item_table.create items in
+  let loc_oids =
+    Item_table.alloc_oids tbl items ~alloc:(fun x ->
+        Memory.alloc mem
+          ~name:("loc:" ^ Item.name x)
+          (cell ~owner:unlocked ~ver:0 Value.initial))
+  in
+  { tbl; loc_oids }
 
 type ctx = {
   t : t;
   pid : int;
   tid : Tid.t;
-  mutable rset : (Item.t * int) list;  (* item, version at first read *)
-  mutable wset : (Item.t * Value.t) list;  (* newest binding first *)
-  mutable locked : (Item.t * (int * Value.t)) list;
-      (* items whose locator we hold, with the (version, value) to restore
+  topt : Tid.t option;  (* [Some tid], boxed once so steps don't re-box it *)
+  mutable rset : (int * int) list;  (* item id, version at first read *)
+  mutable wset : (int * Value.t) list;  (* newest binding first *)
+  mutable locked : (int * (int * Value.t)) list;
+      (* ids whose locator we hold, with the (version, value) to restore
          on abort *)
   mutable dead : bool;
 }
 
 let begin_txn t ~pid ~tid =
-  { t; pid; tid; rset = []; wset = []; locked = []; dead = false }
+  { t; pid; tid; topt = Some tid; rset = []; wset = []; locked = []; dead = false }
 
-let read_loc c x = decode (Proc.read ~tid:c.tid (c.t.loc_of x))
+let read_loc c id = Proc.read_t ~tid:c.topt (Array.unsafe_get c.t.loc_oids id)
 
 (* abort self: restore every held locator to its pre-lock (version, value)
    — the version is unchanged, so reads made before we locked stay valid *)
 let self_abort c =
   List.iter
-    (fun (x, (ver, v)) ->
-      Proc.write ~tid:c.tid (c.t.loc_of x) (cell ~owner:unlocked ~ver v))
+    (fun (id, (ver, v)) ->
+      Proc.write_t ~tid:c.topt
+        (Array.unsafe_get c.t.loc_oids id)
+        (cell ~owner:unlocked ~ver v))
     c.locked;
   c.locked <- [];
   c.dead <- true
@@ -83,14 +83,16 @@ let self_abort c =
 (* incremental validation: every previously read, still-unlocked item must
    be unlocked at its recorded version.  Items we hold the lock on cannot
    move under us and are skipped. *)
-let validate c =
-  List.for_all
-    (fun (x, ver0) ->
-      List.mem_assoc x c.locked
+let rec validate c = function
+  | [] -> true
+  | (id, ver0) :: rest ->
+      (List.mem_assoc id c.locked
       ||
-      let owner, ver, _ = read_loc c x in
-      owner = unlocked && ver = ver0)
-    c.rset
+      match read_loc c id with
+      | Value.VList [ Value.VInt owner; Value.VInt ver; _ ] ->
+          owner = unlocked && ver = ver0
+      | _ -> invalid_arg "lp: bad locator")
+      && validate c rest
 
 let conflict c =
   self_abort c;
@@ -99,60 +101,73 @@ let conflict c =
 let read c x =
   if c.dead then Error ()
   else
-    match List.assoc_opt x c.wset with
+    let id = Item_table.id c.t.tbl x in
+    match List.assoc_opt id c.wset with
     | Some v -> Ok v
-    | None ->
-        let owner, ver, v = read_loc c x in
-        if owner <> unlocked then conflict c (* locked by a concurrent txn *)
-        else if
-          match List.assoc_opt x c.rset with
-          | Some ver0 -> ver <> ver0
-          | None -> false
-        then conflict c (* the item moved between our reads *)
-        else if not (validate c) then conflict c
-        else begin
-          if not (List.mem_assoc x c.rset) then c.rset <- (x, ver) :: c.rset;
-          Ok v
-        end
+    | None -> (
+        match read_loc c id with
+        | Value.VList [ Value.VInt owner; Value.VInt ver; v ] ->
+            if owner <> unlocked then conflict c
+              (* locked by a concurrent txn *)
+            else if
+              match List.assoc_opt id c.rset with
+              | Some ver0 -> ver <> ver0
+              | None -> false
+            then conflict c (* the item moved between our reads *)
+            else if not (validate c c.rset) then conflict c
+            else begin
+              if not (List.mem_assoc id c.rset) then
+                c.rset <- (id, ver) :: c.rset;
+              Ok v
+            end
+        | _ -> invalid_arg "lp: bad locator")
 
 let write c x v =
   if c.dead then Error ()
-  else if List.mem_assoc x c.locked then begin
-    c.wset <- (x, v) :: List.remove_assoc x c.wset;
-    Ok ()
-  end
   else
-    let owner, ver, cur = read_loc c x in
-    if owner <> unlocked then conflict c
-    else if
-      match List.assoc_opt x c.rset with
-      | Some ver0 -> ver <> ver0
-      | None -> false
-    then conflict c
-    else if
-      not
-        (Proc.cas ~tid:c.tid (c.t.loc_of x)
-           ~expected:(cell ~owner:unlocked ~ver cur)
-           ~desired:(cell ~owner:c.pid ~ver cur))
-    then conflict c (* an interfering step took the locator first *)
-    else begin
-      c.locked <- (x, (ver, cur)) :: c.locked;
-      c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    let id = Item_table.id c.t.tbl x in
+    if List.mem_assoc id c.locked then begin
+      c.wset <- (id, v) :: List.remove_assoc id c.wset;
       Ok ()
     end
+    else
+      match read_loc c id with
+      | Value.VList [ Value.VInt owner; Value.VInt ver; cur ] as cur_loc ->
+          if owner <> unlocked then conflict c
+          else if
+            match List.assoc_opt id c.rset with
+            | Some ver0 -> ver <> ver0
+            | None -> false
+          then conflict c
+          else if
+            (* the expected value is the locator we just read — CAS
+               compares structurally, so no reconstruction is needed *)
+            not
+              (Proc.cas_t ~tid:c.topt
+                 (Array.unsafe_get c.t.loc_oids id)
+                 ~expected:cur_loc
+                 ~desired:(cell ~owner:c.pid ~ver cur))
+          then conflict c (* an interfering step took the locator first *)
+          else begin
+            c.locked <- (id, (ver, cur)) :: c.locked;
+            c.wset <- (id, v) :: List.remove_assoc id c.wset;
+            Ok ()
+          end
+      | _ -> invalid_arg "lp: bad locator"
 
 let try_commit c =
   if c.dead then Error ()
-  else if not (validate c) then conflict c
+  else if not (validate c c.rset) then conflict c
   else begin
     (* publish + unlock in one atomic step per item, in item order *)
     List.iter
-      (fun x ->
-        let ver, _ = List.assoc x c.locked in
-        let v = List.assoc x c.wset in
-        Proc.write ~tid:c.tid (c.t.loc_of x)
+      (fun id ->
+        let ver, _ = List.assoc id c.locked in
+        let v = List.assoc id c.wset in
+        Proc.write_t ~tid:c.topt
+          (Array.unsafe_get c.t.loc_oids id)
           (cell ~owner:unlocked ~ver:(ver + 1) v))
-      (List.sort Item.compare (List.map fst c.locked));
+      (List.sort Int.compare (List.map fst c.locked));
     c.locked <- [];
     c.dead <- true;
     Ok ()

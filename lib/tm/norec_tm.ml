@@ -14,7 +14,9 @@
                   coincide in the same object).
 
    Objects: [seq] = VInt (even = stable, odd = writer in write-back);
-   per item [nv:x] = plain value register. *)
+   per item [nv:x] = plain value register (items as dense int ids via
+   {!Item_table}; write-back order is the [List.rev c.wset] insertion
+   order, unchanged by the keying). *)
 
 open Tm_base
 open Tm_runtime
@@ -22,36 +24,36 @@ open Tm_runtime
 let name = "norec"
 let describe = "opacity from one global seqlock; neither DAP nor non-blocking"
 
-type t = { seq : Oid.t; cell_of : Item.t -> Oid.t }
+type t = { seq : Oid.t; tbl : Item_table.t; cell_oids : Oid.t array }
 
 let create mem ~items =
   let seq = Memory.alloc mem ~name:"seq" (Value.int 0) in
-  let cells = Hashtbl.create 16 in
-  List.iter
-    (fun x ->
-      Hashtbl.replace cells x
-        (Memory.alloc mem ~name:("nv:" ^ Item.name x) Value.initial))
-    items;
-  { seq; cell_of = (fun x -> Hashtbl.find cells x) }
+  let tbl = Item_table.create items in
+  let cell_oids =
+    Item_table.alloc_oids tbl items ~alloc:(fun x ->
+        Memory.alloc mem ~name:("nv:" ^ Item.name x) Value.initial)
+  in
+  { seq; tbl; cell_oids }
 
 type ctx = {
   t : t;
   pid : int;
   tid : Tid.t;
+  topt : Tid.t option;  (* [Some tid], boxed once so steps don't re-box it *)
   mutable snapshot : int;  (* last even seq value we validated at *)
-  mutable rset : (Item.t * Value.t) list;  (* value-based read log *)
-  mutable wset : (Item.t * Value.t) list;
+  mutable rset : (int * Value.t) list;  (* value-based read log, by item id *)
+  mutable wset : (int * Value.t) list;
   mutable dead : bool;
 }
 
 (* spin until the sequence word is even (a suspended writer blocks us
    here — NOrec's blocking window) *)
 let rec wait_even c =
-  let s = Value.to_int_exn (Proc.read ~tid:c.tid c.t.seq) in
+  let s = Value.to_int_exn (Proc.read_t ~tid:c.topt c.t.seq) in
   if s land 1 = 0 then s else wait_even c
 
 let begin_txn t ~pid ~tid =
-  let c = { t; pid; tid; snapshot = 0; rset = []; wset = []; dead = false } in
+  let c = { t; pid; tid; topt = Some tid; snapshot = 0; rset = []; wset = []; dead = false } in
   c.snapshot <- wait_even c;
   c
 
@@ -61,24 +63,29 @@ let rec revalidate c =
   let s = wait_even c in
   let ok =
     List.for_all
-      (fun (x, v) ->
-        Value.equal (Proc.read ~tid:c.tid (c.t.cell_of x)) v)
+      (fun (id, v) ->
+        Value.equal
+          (Proc.read_t ~tid:c.topt (Array.unsafe_get c.t.cell_oids id))
+          v)
       c.rset
   in
   if not ok then None
   else
-    let s' = Value.to_int_exn (Proc.read ~tid:c.tid c.t.seq) in
+    let s' = Value.to_int_exn (Proc.read_t ~tid:c.topt c.t.seq) in
     if s' = s then Some s else revalidate c
 
 let read c x =
   if c.dead then Error ()
   else
-    match List.assoc_opt x c.wset with
+    let id = Item_table.id c.t.tbl x in
+    match List.assoc_opt id c.wset with
     | Some v -> Ok v
     | None ->
         let rec go () =
-          let v = Proc.read ~tid:c.tid (c.t.cell_of x) in
-          let s = Value.to_int_exn (Proc.read ~tid:c.tid c.t.seq) in
+          let v =
+            Proc.read_t ~tid:c.topt (Array.unsafe_get c.t.cell_oids id)
+          in
+          let s = Value.to_int_exn (Proc.read_t ~tid:c.topt c.t.seq) in
           if s = c.snapshot then Ok v
           else
             match revalidate c with
@@ -91,14 +98,15 @@ let read c x =
         in
         Result.map
           (fun v ->
-            c.rset <- (x, v) :: c.rset;
+            c.rset <- (id, v) :: c.rset;
             v)
           (go ())
 
 let write c x v =
   if c.dead then Error ()
   else begin
-    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    let id = Item_table.id c.t.tbl x in
+    c.wset <- (id, v) :: List.remove_assoc id c.wset;
     Ok ()
   end
 
@@ -112,7 +120,7 @@ let try_commit c =
          win the CAS from an even value we have validated against *)
       let rec acquire () =
         if
-          Proc.cas ~tid:c.tid c.t.seq ~expected:(Value.int c.snapshot)
+          Proc.cas_t ~tid:c.topt c.t.seq ~expected:(Value.int c.snapshot)
             ~desired:(Value.int (c.snapshot + 1))
         then Ok ()
         else
@@ -126,9 +134,10 @@ let try_commit c =
       | Error () -> Error ()
       | Ok () ->
           List.iter
-            (fun (x, v) -> Proc.write ~tid:c.tid (c.t.cell_of x) v)
+            (fun (id, v) ->
+              Proc.write_t ~tid:c.topt (Array.unsafe_get c.t.cell_oids id) v)
             (List.rev c.wset);
-          Proc.write ~tid:c.tid c.t.seq (Value.int (c.snapshot + 2));
+          Proc.write_t ~tid:c.topt c.t.seq (Value.int (c.snapshot + 2));
           Ok ()
     end
   end

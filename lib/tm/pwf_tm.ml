@@ -25,7 +25,12 @@
    per-item timestamps are what make the snapshot "versioned": an
    updater's validation compares the current timestamp of every item it
    read against its snapshot's, so an abort names the exact items a
-   concurrent commit moved. *)
+   concurrent commit moved.
+
+   The snapshot is kept as the raw store list (no up-front decode); reads
+   and validation match the VPair entries in place, and the commit's
+   rebuilt store reuses unchanged entries — structurally identical to
+   re-encoding them, without the allocation. *)
 
 open Tm_base
 open Tm_runtime
@@ -35,56 +40,71 @@ let name = "pwf-readers"
 let describe =
   "wait-free read-only txns + lock-free updaters, opaque, no DAP (weakens P)"
 
-type t = { root : Oid.t; index_of : Item.t -> int }
+type t = { root : Oid.t; idx : (Item.t, int) Hashtbl.t }
 
 let entry ~ts v = Value.pair (Value.int ts) v
 
-let decode_entry = function
-  | Value.VPair (Value.VInt ts, v) -> (ts, v)
+let entry_ts = function
+  | Value.VPair (Value.VInt ts, _) -> ts
   | _ -> invalid_arg "pwf: bad snapshot entry"
 
-let decode = function
-  | Value.VPair (Value.VInt ts, Value.VList entries) ->
-      (ts, List.map decode_entry entries)
+let entry_value = function
+  | Value.VPair (_, v) -> v
+  | _ -> invalid_arg "pwf: bad snapshot entry"
+
+(* the store list inside a root value, borrowed in place *)
+let store_of = function
+  | Value.VPair (_, Value.VList entries) -> entries
+  | _ -> invalid_arg "pwf: bad snapshot root"
+
+let root_ts = function
+  | Value.VPair (Value.VInt ts, _) -> ts
   | _ -> invalid_arg "pwf: bad snapshot root"
 
 let create mem ~items =
   let store0 = Value.list (List.map (fun _ -> entry ~ts:0 Value.initial) items) in
   let root = Memory.alloc mem ~name:"root" (Value.pair (Value.int 0) store0) in
-  let index = Hashtbl.create 16 in
-  List.iteri (fun i x -> Hashtbl.replace index x i) items;
-  { root; index_of = (fun x -> Hashtbl.find index x) }
+  let idx = Hashtbl.create 16 in
+  (* positions follow the create-time item list: the root store's layout
+     is part of the recorded artifact surface *)
+  List.iteri (fun i x -> Hashtbl.replace idx x i) items;
+  { root; idx }
+
+let index_of t x = Hashtbl.find t.idx x
 
 type ctx = {
   t : t;
   pid : int;
   tid : Tid.t;
+  topt : Tid.t option;  (* [Some tid], boxed once so steps don't re-box it *)
   snap_root : Value.t;  (* the raw root value loaded at begin *)
-  snap : (int * Value.t) list;  (* decoded per-item (ts, value) *)
-  mutable rset : Item.t list;  (* items read from the snapshot *)
-  mutable wset : (Item.t * Value.t) list;  (* newest binding first *)
+  snap : Value.t list;  (* its store list, borrowed (per-item VPair (ts, v)) *)
+  mutable rset : int list;  (* store indices read from the snapshot *)
+  mutable wset : (int * Value.t) list;  (* newest binding first, by index *)
   mutable dead : bool;
 }
 
 let begin_txn t ~pid ~tid =
   let snap_root = Proc.read ~tid t.root in
-  let _, snap = decode snap_root in
-  { t; pid; tid; snap_root; snap; rset = []; wset = []; dead = false }
+  let snap = store_of snap_root in
+  { t; pid; tid; topt = Some tid; snap_root; snap; rset = []; wset = []; dead = false }
 
 let read c x =
   if c.dead then Error ()
   else
-    match List.assoc_opt x c.wset with
+    let i = index_of c.t x in
+    match List.assoc_opt i c.wset with
     | Some v -> Ok v
     | None ->
-        let _, v = List.nth c.snap (c.t.index_of x) in
-        if not (List.mem x c.rset) then c.rset <- x :: c.rset;
+        let v = entry_value (List.nth c.snap i) in
+        if not (List.mem i c.rset) then c.rset <- i :: c.rset;
         Ok v
 
 let write c x v =
   if c.dead then Error ()
   else begin
-    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    let i = index_of c.t x in
+    c.wset <- (i, v) :: List.remove_assoc i c.wset;
     Ok ()
   end
 
@@ -96,17 +116,15 @@ let try_commit c =
     Ok ()
   end
   else begin
-    let writes =
-      List.map (fun (x, v) -> (c.t.index_of x, v)) c.wset
-    in
-    let read_idx = List.map c.t.index_of c.rset in
-    let snap_ts_at i = fst (List.nth c.snap i) in
+    let snap_ts_at i = entry_ts (List.nth c.snap i) in
     (* the first attempt CASes against the begin-time snapshot itself, so
        an uncontended updater commits without re-reading the root *)
     let rec attempt cur_root =
-      let cur_ts, cur = decode cur_root in
+      let cur = store_of cur_root in
       let valid =
-        List.for_all (fun i -> fst (List.nth cur i) = snap_ts_at i) read_idx
+        List.for_all
+          (fun i -> entry_ts (List.nth cur i) = snap_ts_at i)
+          c.rset
       in
       if not valid then begin
         (* a concurrent transaction committed a newer version of an item
@@ -115,18 +133,18 @@ let try_commit c =
         Error ()
       end
       else begin
-        let ts' = cur_ts + 1 in
+        let ts' = root_ts cur_root + 1 in
         let store' =
           Value.list
             (List.mapi
                (fun i e ->
-                 match List.assoc_opt i writes with
+                 match List.assoc_opt i c.wset with
                  | Some v -> entry ~ts:ts' v
-                 | None -> entry ~ts:(fst e) (snd e))
+                 | None -> e (* unchanged: reuse, structurally identical *))
                cur)
         in
         if
-          Proc.cas ~tid:c.tid c.t.root ~expected:cur_root
+          Proc.cas_t ~tid:c.topt c.t.root ~expected:cur_root
             ~desired:(Value.pair (Value.int ts') store')
         then begin
           c.dead <- true;
@@ -135,7 +153,7 @@ let try_commit c =
         else
           (* the CAS lost to another commit: lock-free retry — the failed
              attempt witnesses system-wide progress *)
-          attempt (Proc.read ~tid:c.tid c.t.root)
+          attempt (Proc.read_t ~tid:c.topt c.t.root)
       end
     in
     attempt c.snap_root

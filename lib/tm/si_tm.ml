@@ -25,7 +25,10 @@
    timestamp).  A reader that meets a sealed record *helps*: it fetch&adds
    the clock itself and tries to publish on the owner's behalf, so
    resolution is non-blocking even if the committer is suspended between
-   its last two steps. *)
+   its last two steps.
+
+   Items are dense int ids ({!Item_table}); the read path scans the raw
+   version list in place (no per-entry decoding). *)
 
 open Tm_base
 open Tm_runtime
@@ -33,28 +36,28 @@ open Tm_runtime
 let name = "si-clock"
 let describe = "snapshot isolation + obstruction-free, no DAP (weakens P)"
 
-type t = { mem : Memory.t; clock : Oid.t; ver_of : Item.t -> Oid.t }
+type t = { mem : Memory.t; clock : Oid.t; tbl : Item_table.t; ver_oids : Oid.t array }
 
 let create mem ~items =
   let clock = Memory.alloc mem ~name:"clock" (Value.int 0) in
-  let vers = Hashtbl.create 16 in
-  List.iter
-    (fun x ->
-      Hashtbl.replace vers x
-        (Memory.alloc mem
-           ~name:("ver:" ^ Item.name x)
-           (Value.list
-              [ Value.list [ Value.int (-1); Value.int 0; Value.initial ] ])))
-    items;
-  { mem; clock; ver_of = (fun x -> Hashtbl.find vers x) }
+  let tbl = Item_table.create items in
+  let ver_oids =
+    Item_table.alloc_oids tbl items ~alloc:(fun x ->
+        Memory.alloc mem
+          ~name:("ver:" ^ Item.name x)
+          (Value.list
+             [ Value.list [ Value.int (-1); Value.int 0; Value.initial ] ]))
+  in
+  { mem; clock; tbl; ver_oids }
 
 type ctx = {
   t : t;
   pid : int;
   tid : Tid.t;
+  topt : Tid.t option;  (* [Some tid], boxed once so steps don't re-box it *)
   snap : int;  (* snapshot timestamp taken at begin *)
   record : Oid.t;  (* commit record *)
-  mutable wset : (Item.t * Value.t) list;
+  mutable wset : (int * Value.t) list;
   mutable dead : bool;
 }
 
@@ -65,66 +68,60 @@ let begin_txn t ~pid ~tid =
       (Value.pair (Value.int 0) (Value.int (-1)))
   in
   let snap = Value.to_int_exn (Proc.read ~tid t.clock) in
-  { t; pid; tid; snap; record; wset = []; dead = false }
+  { t; pid; tid; topt = Some tid; snap; record; wset = []; dead = false }
 
-let decode_entry = function
-  | Value.VList [ Value.VInt owner; Value.VInt ts; v ] -> (owner, ts, v)
+(* commit timestamp of a pending entry's owner record, or [min_int] while
+   the owner is still active (invisible).  A sealed record (state 3) is
+   helped to completion. *)
+let rec owner_ts c owner =
+  match Proc.read_t ~tid:c.topt (Oid.of_int owner) with
+  | Value.VPair (Value.VInt 1, Value.VInt cts) -> cts
+  | Value.VPair (Value.VInt 3, _) ->
+      let hts = 1 + Proc.fetch_add_t ~tid:c.topt c.t.clock 1 in
+      ignore
+        (Proc.cas_t ~tid:c.topt (Oid.of_int owner)
+           ~expected:(Value.pair (Value.int 3) (Value.int (-1)))
+           ~desired:(Value.pair (Value.int 1) (Value.int hts)));
+      owner_ts c owner
+  | _ -> min_int (* owner still active: invisible *)
+
+(* newest visible version with ts <= snapshot, scanning the raw version
+   list in place; [acc_ts] starts at [min_int] so the initial-value
+   fallback needs no option *)
+let rec best c acc_ts acc_v = function
+  | [] -> acc_v
+  | Value.VList [ Value.VInt owner; Value.VInt ts0; v ] :: rest ->
+      let ts = if owner = -1 then ts0 else owner_ts c owner in
+      if ts <= c.snap && ts > acc_ts then best c ts v rest
+      else best c acc_ts acc_v rest
   | _ -> invalid_arg "si: bad version entry"
-
-(* commit timestamp of an entry: immediate for committed-at-creation
-   entries, read from the owner's commit record for pending ones.  A
-   sealed record (state 3) is helped to completion. *)
-let rec entry_ts c ((owner, ts, _v) as e) =
-  if owner = -1 then Some ts
-  else
-    match Proc.read ~tid:c.tid (Oid.of_int owner) with
-    | Value.VPair (Value.VInt 1, Value.VInt cts) -> Some cts
-    | Value.VPair (Value.VInt 3, _) ->
-        let hts = 1 + Proc.fetch_add ~tid:c.tid c.t.clock 1 in
-        ignore
-          (Proc.cas ~tid:c.tid (Oid.of_int owner)
-             ~expected:(Value.pair (Value.int 3) (Value.int (-1)))
-             ~desired:(Value.pair (Value.int 1) (Value.int hts)));
-        entry_ts c e
-    | _ -> None (* owner still active: invisible *)
 
 let read c x =
   if c.dead then Error ()
   else
-    match List.assoc_opt x c.wset with
+    let id = Item_table.id c.t.tbl x in
+    match List.assoc_opt id c.wset with
     | Some v -> Ok v
     | None ->
         let entries =
-          List.map decode_entry
-            (Value.to_list_exn (Proc.read ~tid:c.tid (c.t.ver_of x)))
+          Value.to_list_exn
+            (Proc.read_t ~tid:c.topt (Array.unsafe_get c.t.ver_oids id))
         in
-        (* newest visible version with ts <= snapshot *)
-        let best =
-          List.fold_left
-            (fun acc e ->
-              match entry_ts c e with
-              | Some ts when ts <= c.snap -> (
-                  let _, _, v = e in
-                  match acc with
-                  | Some (ts', _) when ts' >= ts -> acc
-                  | _ -> Some (ts, v))
-              | _ -> acc)
-            None entries
-        in
-        Ok (match best with Some (_, v) -> v | None -> Value.initial)
+        Ok (best c min_int Value.initial entries)
 
 let write c x v =
   if c.dead then Error ()
   else begin
-    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    let id = Item_table.id c.t.tbl x in
+    c.wset <- (id, v) :: List.remove_assoc id c.wset;
     Ok ()
   end
 
 let max_versions = 8
 
-let rec install c x v =
-  let oid = c.t.ver_of x in
-  let cur = Proc.read ~tid:c.tid oid in
+let rec install c id v =
+  let oid = Array.unsafe_get c.t.ver_oids id in
+  let cur = Proc.read_t ~tid:c.topt oid in
   let entries = Value.to_list_exn cur in
   let entry =
     Value.list [ Value.int (Oid.to_int c.record); Value.int (-1); v ]
@@ -135,26 +132,26 @@ let rec install c x v =
     else entries
   in
   if
-    Proc.cas ~tid:c.tid oid ~expected:cur
+    Proc.cas_t ~tid:c.topt oid ~expected:cur
       ~desired:(Value.list (entry :: keep))
   then ()
-  else install c x v (* interfering step: retry, obstruction-free *)
+  else install c id v (* interfering step: retry, obstruction-free *)
 
 let try_commit c =
   if c.dead then Error ()
   else begin
     if c.wset <> [] then begin
-      List.iter (fun (x, v) -> install c x v) (List.rev c.wset);
+      List.iter (fun (id, v) -> install c id v) (List.rev c.wset);
       (* seal: from here on helpers may finish the publish for us *)
       ignore
-        (Proc.cas ~tid:c.tid c.record
+        (Proc.cas_t ~tid:c.topt c.record
            ~expected:(Value.pair (Value.int 0) (Value.int (-1)))
            ~desired:(Value.pair (Value.int 3) (Value.int (-1))));
-      let ts = 1 + Proc.fetch_add ~tid:c.tid c.t.clock 1 in
+      let ts = 1 + Proc.fetch_add_t ~tid:c.topt c.t.clock 1 in
       (* publish atomically: every pending version becomes visible here
          (the CAS fails harmlessly if a helper already published) *)
       ignore
-        (Proc.cas ~tid:c.tid c.record
+        (Proc.cas_t ~tid:c.topt c.record
            ~expected:(Value.pair (Value.int 3) (Value.int (-1)))
            ~desired:(Value.pair (Value.int 1) (Value.int ts)))
     end;

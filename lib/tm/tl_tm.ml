@@ -13,7 +13,9 @@
                   suspended lock holder stalls everyone conflicting.
 
    Per item x: a lock object [lock:x] and a versioned value [val:x]
-   holding VPair (value, VInt version). *)
+   holding VPair (value, VInt version).  Items are handled as dense int
+   ids ({!Item_table}); read/write sets are id-keyed, and the id order
+   coincides with item order, so the commit's lock walk is unchanged. *)
 
 open Tm_base
 open Tm_runtime
@@ -22,67 +24,97 @@ let name = "tl-lock"
 let describe = "strict DAP + strict serializability, blocking (weakens L)"
 
 type t = {
-  val_of : Item.t -> Oid.t;
-  lock_of : Item.t -> Oid.t;
+  tbl : Item_table.t;
+  val_oids : Oid.t array;  (* id -> versioned value object *)
+  lock_oids : Oid.t array;  (* id -> lock object *)
 }
 
 let create mem ~items =
-  let vals = Hashtbl.create 16 and locks = Hashtbl.create 16 in
+  let tbl = Item_table.create items in
+  let n = Item_table.size tbl in
+  let val_oids = Array.make n (Oid.of_int 0) in
+  let lock_oids = Array.make n (Oid.of_int 0) in
+  (* allocation stays in the caller's item order: oid numbering is part
+     of the byte-pinned artifact surface *)
   List.iter
     (fun x ->
-      Hashtbl.replace vals x
-        (Memory.alloc mem
-           ~name:("val:" ^ Item.name x)
-           (Value.pair Value.initial (Value.int 0)));
-      Hashtbl.replace locks x
-        (Memory.alloc mem ~name:("lock:" ^ Item.name x) Value.unit))
+      let id = Item_table.id tbl x in
+      val_oids.(id) <-
+        Memory.alloc mem
+          ~name:("val:" ^ Item.name x)
+          (Value.pair Value.initial (Value.int 0));
+      lock_oids.(id) <-
+        Memory.alloc mem ~name:("lock:" ^ Item.name x) Value.unit)
     items;
-  {
-    val_of = (fun x -> Hashtbl.find vals x);
-    lock_of = (fun x -> Hashtbl.find locks x);
-  }
+  { tbl; val_oids; lock_oids }
 
 type ctx = {
   t : t;
   pid : int;
   tid : Tid.t;
-  mutable rset : (Item.t * int) list;  (* item, version at first read *)
-  mutable wset : (Item.t * Value.t) list;  (* newest binding first *)
+  topt : Tid.t option;  (* [Some tid], boxed once so steps don't re-box it *)
+  mutable rset : (int * int) list;  (* item id, version at first read *)
+  mutable wset : (int * Value.t) list;  (* newest binding first *)
   mutable dead : bool;
 }
 
-let begin_txn t ~pid ~tid = { t; pid; tid; rset = []; wset = []; dead = false }
+let begin_txn t ~pid ~tid =
+  { t; pid; tid; topt = Some tid; rset = []; wset = []; dead = false }
 
-let read_cell c x =
-  Value.to_pair_exn (Proc.read ~tid:c.tid (c.t.val_of x))
+(* one atomic read of [val:x], version only — no pair materialized *)
+let cell_ver c id =
+  match Proc.read_t ~tid:c.topt (Array.unsafe_get c.t.val_oids id) with
+  | Value.VPair (_, Value.VInt ver) -> ver
+  | _ -> invalid_arg "tl: bad cell"
 
 let read c x =
   if c.dead then Error ()
   else
-    match List.assoc_opt x c.wset with
+    let id = Item_table.id c.t.tbl x in
+    match List.assoc_opt id c.wset with
     | Some v -> Ok v
-    | None ->
-        let v, ver = read_cell c x in
-        let ver = Value.to_int_exn ver in
-        if not (List.mem_assoc x c.rset) then c.rset <- (x, ver) :: c.rset;
-        Ok v
+    | None -> (
+        match Proc.read_t ~tid:c.topt (Array.unsafe_get c.t.val_oids id) with
+        | Value.VPair (v, Value.VInt ver) ->
+            if not (List.mem_assoc id c.rset) then
+              c.rset <- (id, ver) :: c.rset;
+            Ok v
+        | _ -> invalid_arg "tl: bad cell")
 
 let write c x v =
   if c.dead then Error ()
   else begin
-    c.wset <- (x, v) :: List.remove_assoc x c.wset;
+    let id = Item_table.id c.t.tbl x in
+    c.wset <- (id, v) :: List.remove_assoc id c.wset;
     Ok ()
   end
 
-let write_items c = List.sort Item.compare (List.map fst c.wset)
+let write_items c = List.sort Int.compare (List.map fst c.wset)
 
 (* every item the commit must lock: read set union write set, in item
-   order so that concurrent commits never deadlock *)
+   order (= id order) so that concurrent commits never deadlock *)
 let lock_items c =
-  List.sort_uniq Item.compare (List.map fst c.wset @ List.map fst c.rset)
+  List.sort_uniq Int.compare (List.map fst c.wset @ List.map fst c.rset)
 
-let release c held =
-  List.iter (fun x -> Proc.unlock ~tid:c.tid ~pid:c.pid (c.t.lock_of x)) held
+let rec release c = function
+  | [] -> ()
+  | id :: rest ->
+      Proc.unlock_t ~tid:c.topt ~pid:c.pid (Array.unsafe_get c.t.lock_oids id);
+      release c rest
+
+let rec validate c = function
+  | [] -> true
+  | (id, ver0) :: rest -> cell_ver c id = ver0 && validate c rest
+
+let rec write_back c = function
+  | [] -> ()
+  | id :: rest ->
+      let v = List.assoc id c.wset in
+      let ver = cell_ver c id in
+      Proc.write_t ~tid:c.topt
+        (Array.unsafe_get c.t.val_oids id)
+        (Value.pair v (Value.int (ver + 1)));
+      write_back c rest
 
 let try_commit c =
   if c.dead then Error ()
@@ -90,34 +122,23 @@ let try_commit c =
     (* acquire read+write locks in item order; spin — the blocking part *)
     let rec acquire held = function
       | [] -> held
-      | x :: rest ->
-          if Proc.try_lock ~tid:c.tid ~pid:c.pid (c.t.lock_of x) then
-            acquire (x :: held) rest
-          else acquire held (x :: rest)
+      | id :: rest as pending ->
+          if
+            Proc.try_lock_t ~tid:c.topt ~pid:c.pid
+              (Array.unsafe_get c.t.lock_oids id)
+          then acquire (id :: held) rest
+          else acquire held pending
     in
     let held = acquire [] (lock_items c) in
     (* validate the read set: versions unchanged since first read *)
-    let valid =
-      List.for_all
-        (fun (x, ver0) ->
-          let _, ver = read_cell c x in
-          Value.to_int_exn ver = ver0)
-        c.rset
-    in
-    if not valid then begin
+    if not (validate c c.rset) then begin
       release c held;
       c.dead <- true;
       Error ()
     end
     else begin
       (* write back, then release everything *)
-      List.iter
-        (fun x ->
-          let v = List.assoc x c.wset in
-          let _, ver = read_cell c x in
-          Proc.write ~tid:c.tid (c.t.val_of x)
-            (Value.pair v (Value.int (Value.to_int_exn ver + 1))))
-        (write_items c);
+      write_back c (write_items c);
       release c held;
       c.dead <- true;
       Ok ()

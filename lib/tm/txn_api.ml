@@ -53,8 +53,9 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
           ~labels:(("prim", Primitive.kind_names.(i)) :: tm_l)
           "tm_mem_prim_total")
   in
-  Memory.set_hook mem (fun e ->
-      Tm_obs.Metrics.inc c_prim.(Primitive.kind_index e.Access_log.prim));
+  Memory.set_hook mem (fun log i ->
+      Tm_obs.Metrics.inc
+        c_prim.(Primitive.kind_index (Access_log.prim_at log i)));
   (* a begin on a pid whose previous transaction aborted is a retry (the
      paper's restart model) *)
   let last_aborted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -74,58 +75,52 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
     (* doomed-transaction poison (chaos engine): a poisoned process's
        next transactional operation is answered by the TM's own abort
        routine, so the forced abort is indistinguishable — in the
-       history and in memory — from one the TM chose itself *)
-    let take_poison () =
+       history and in memory — from one the TM chose itself.  The
+       routines form one [let rec] group so they share a single closure
+       block per transaction instead of allocating one environment
+       each. *)
+    let rec take_poison () =
       if Memory.take_poison mem pid then begin
         Tm_obs.Metrics.inc c_poison;
         M.abort ctx;
         true
       end
       else false
-    in
-    let read x =
+    and read x =
       Tm_obs.Metrics.inc c_read;
-      Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Read x);
+      Recorder.inv_read recorder ~tid ~pid ~at:(now ()) x;
       if take_poison () then begin
         aborted pid;
-        Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
-          Event.R_aborted;
+        Recorder.resp_read_aborted recorder ~tid ~pid ~at:(now ()) x;
         Error ()
       end
       else
-      match M.read ctx x with
-      | Ok v ->
-          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
-            (Event.R_value v);
-          Ok v
-      | Error () ->
-          aborted pid;
-          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Read x)
-            Event.R_aborted;
-          Error ()
-    in
-    let write x v =
+        match M.read ctx x with
+        | Ok v as r ->
+            Recorder.resp_read_value recorder ~tid ~pid ~at:(now ()) x v;
+            r
+        | Error () ->
+            aborted pid;
+            Recorder.resp_read_aborted recorder ~tid ~pid ~at:(now ()) x;
+            Error ()
+    and write x v =
       Tm_obs.Metrics.inc c_write;
-      Recorder.inv recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v));
+      Recorder.inv_write recorder ~tid ~pid ~at:(now ()) x v;
       if take_poison () then begin
         aborted pid;
-        Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
-          Event.R_aborted;
+        Recorder.resp_write_aborted recorder ~tid ~pid ~at:(now ()) x v;
         Error ()
       end
       else
-      match M.write ctx x v with
-      | Ok () ->
-          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
-            Event.R_ok;
-          Ok ()
-      | Error () ->
-          aborted pid;
-          Recorder.resp recorder ~tid ~pid ~at:(now ()) (Event.Write (x, v))
-            Event.R_aborted;
-          Error ()
-    in
-    let try_commit () =
+        match M.write ctx x v with
+        | Ok () ->
+            Recorder.resp_write_ok recorder ~tid ~pid ~at:(now ()) x v;
+            Ok ()
+        | Error () ->
+            aborted pid;
+            Recorder.resp_write_aborted recorder ~tid ~pid ~at:(now ()) x v;
+            Error ()
+    and try_commit () =
       Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Try_commit;
       if take_poison () then begin
         aborted pid;
@@ -145,8 +140,7 @@ let instantiate (module M : Tm_intf.S) (mem : Memory.t)
           Recorder.resp recorder ~tid ~pid ~at:(now ()) Event.Try_commit
             Event.R_aborted;
           Error ()
-    in
-    let abort () =
+    and abort () =
       Recorder.inv recorder ~tid ~pid ~at:(now ()) Event.Abort_call;
       M.abort ctx;
       aborted pid;

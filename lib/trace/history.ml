@@ -40,6 +40,16 @@ let txns t =
     t.events;
   List.rev !acc
 
+(* distinct transaction count without materializing the [txns] list *)
+let txn_count t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let tid = Event.tid e in
+      if not (Hashtbl.mem seen tid) then Hashtbl.add seen tid ())
+    t.events;
+  Hashtbl.length seen
+
 let pids t =
   List.sort_uniq compare (List.map Event.pid (to_list t))
 

@@ -30,6 +30,9 @@ val by_pid : t -> int -> Event.t list
 val txns : t -> Tid.t list
 (** Transactions appearing in the history, ordered by first event. *)
 
+val txn_count : t -> int
+(** [List.length (txns t)], without materializing the list. *)
+
 val pids : t -> int list
 val pid_of_txn : t -> Tid.t -> int option
 

@@ -13,3 +13,15 @@ val inv : t -> tid:Tid.t -> pid:int -> at:int -> Event.op -> unit
 val resp : t -> tid:Tid.t -> pid:int -> at:int -> Event.op -> Event.resp -> unit
 val history : t -> History.t
 val length : t -> int
+
+(** Allocation-free entry points for the payload-carrying routines: the
+    columns are written directly, no [Event.op]/[Event.resp] value is
+    built.  [resp_*] take the same item (and written value) as the
+    matching [inv_*], mirroring the op carried by [Event.Resp]. *)
+
+val inv_read : t -> tid:Tid.t -> pid:int -> at:int -> Item.t -> unit
+val resp_read_value : t -> tid:Tid.t -> pid:int -> at:int -> Item.t -> Value.t -> unit
+val resp_read_aborted : t -> tid:Tid.t -> pid:int -> at:int -> Item.t -> unit
+val inv_write : t -> tid:Tid.t -> pid:int -> at:int -> Item.t -> Value.t -> unit
+val resp_write_ok : t -> tid:Tid.t -> pid:int -> at:int -> Item.t -> Value.t -> unit
+val resp_write_aborted : t -> tid:Tid.t -> pid:int -> at:int -> Item.t -> Value.t -> unit

@@ -226,6 +226,184 @@ let memory_tests =
         check "b non-trivial" true (Oid.Map.find b objs = true));
   ]
 
+(* chunked vectors: growth must be seamless across chunk boundaries, so
+   drive them with tiny chunks (chunk_bits:2 = 4-element chunks) and
+   cross many boundaries *)
+
+let vec_tests =
+  [
+    Alcotest.test_case "intvec growth across chunk boundaries" `Quick
+      (fun () ->
+        let v = Intvec.create ~chunk_bits:2 () in
+        for i = 0 to 99 do
+          Intvec.push v (i * 3);
+          check_int "length tracks pushes" (i + 1) (Intvec.length v)
+        done;
+        for i = 0 to 99 do
+          check_int "get" (i * 3) (Intvec.get v i);
+          check_int "unsafe_get" (i * 3) (Intvec.unsafe_get v i)
+        done;
+        check "to_list" true
+          (Intvec.to_list v = List.init 100 (fun i -> i * 3)));
+    Alcotest.test_case "intvec set/get bounds" `Quick (fun () ->
+        let v = Intvec.create ~chunk_bits:2 () in
+        Intvec.push v 1;
+        Intvec.set v 0 9;
+        check_int "set visible" 9 (Intvec.get v 0);
+        check "get oob" true
+          (try
+             ignore (Intvec.get v 1);
+             false
+           with Invalid_argument _ -> true);
+        check "set oob" true
+          (try
+             Intvec.set v (-1) 0;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "intvec clear retains chunks, copy is independent"
+      `Quick (fun () ->
+        let v = Intvec.create ~chunk_bits:2 () in
+        for i = 0 to 20 do Intvec.push v i done;
+        let c = Intvec.copy v in
+        Intvec.clear v;
+        check_int "cleared" 0 (Intvec.length v);
+        check_int "copy unaffected" 21 (Intvec.length c);
+        for i = 0 to 20 do Intvec.push v (100 + i) done;
+        check_int "reused" (100 + 7) (Intvec.get v 7);
+        check_int "copy still old" 7 (Intvec.get c 7));
+    Alcotest.test_case "objvec growth across chunk boundaries" `Quick
+      (fun () ->
+        let v = Objvec.create ~chunk_bits:2 ~dummy:"" () in
+        for i = 0 to 99 do
+          Objvec.push v (string_of_int i)
+        done;
+        check_int "length" 100 (Objvec.length v);
+        for i = 0 to 99 do
+          check_str "get" (string_of_int i) (Objvec.get v i)
+        done;
+        check "to_list" true
+          (Objvec.to_list v = List.init 100 string_of_int);
+        check "get oob" true
+          (try
+             ignore (Objvec.get v 100);
+             false
+           with Invalid_argument _ -> true);
+        Objvec.clear v;
+        check_int "cleared" 0 (Objvec.length v);
+        Objvec.push v "again";
+        check_str "reuse after clear" "again" (Objvec.get v 0));
+  ]
+
+(* the flat access log: bounds, views and index-ring equivalences *)
+
+let log_bounds_tests =
+  [
+    Alcotest.test_case "get and sub check bounds" `Quick (fun () ->
+        let m = Memory.create () in
+        let a = Memory.alloc m ~name:"a" (Value.int 0) in
+        for i = 1 to 5 do
+          ignore (Memory.apply m ~pid:1 a (Primitive.Write (Value.int i)))
+        done;
+        let log = Memory.log m in
+        let oob f =
+          try
+            ignore (f ());
+            false
+          with Invalid_argument _ -> true
+        in
+        check "get -1" true (oob (fun () -> Access_log.get log (-1)));
+        check "get len" true (oob (fun () -> Access_log.get log 5));
+        check "sub neg pos" true
+          (oob (fun () -> Access_log.sub log ~pos:(-1) ~len:1));
+        check "sub neg len" true
+          (oob (fun () -> Access_log.sub log ~pos:0 ~len:(-1)));
+        check "sub past end" true
+          (oob (fun () -> Access_log.sub log ~pos:3 ~len:3));
+        check_int "sub ok" 2
+          (List.length (Access_log.sub log ~pos:3 ~len:2));
+        check "sub empty at end" true
+          (Access_log.sub log ~pos:5 ~len:0 = []));
+  ]
+
+(* a fuzzed log: random steps over a few objects/processes/transactions,
+   driven through Memory so the index rings are built incrementally *)
+let gen_log_ops =
+  QCheck.(
+    list_of_size Gen.(0 -- 120)
+      (quad (int_range 1 4) (int_range 0 3) (int_range 0 2)
+         (int_range 0 9)))
+
+let build_log ops =
+  let m = Memory.create () in
+  let oids =
+    Array.init 3 (fun i ->
+        Memory.alloc m ~name:(Printf.sprintf "o%d" i) (Value.int 0))
+  in
+  List.iter
+    (fun (pid, t, o, v) ->
+      let tid = if t = 0 then None else Some (Tid.v t) in
+      let prim =
+        if v mod 2 = 0 then Primitive.Read
+        else Primitive.Write (Value.int v)
+      in
+      ignore (Memory.apply m ~pid ?tid oids.(o) prim))
+    ops;
+  Memory.log m
+
+let log_prop_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:100 ~name:"entries = of_seq (to_seq)" gen_log_ops
+         (fun ops ->
+           let log = build_log ops in
+           Access_log.entries log = List.of_seq (Access_log.to_seq log)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:100
+         ~name:"by_txn ring = filter over entries" gen_log_ops (fun ops ->
+           let log = build_log ops in
+           let entries = Access_log.entries log in
+           List.for_all
+             (fun t ->
+               let tid = Tid.v t in
+               Access_log.by_txn log tid
+               = List.filter
+                   (fun e -> e.Access_log.tid = Some tid)
+                   entries)
+             [ 1; 2; 3; 4 ]));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:100
+         ~name:"by_pid ring = filter over entries" gen_log_ops (fun ops ->
+           let log = build_log ops in
+           let entries = Access_log.entries log in
+           List.for_all
+             (fun pid ->
+               Access_log.by_pid log pid
+               = List.filter (fun e -> e.Access_log.pid = pid) entries
+               && Access_log.pid_step_count log pid
+                  = List.length (Access_log.by_pid log pid))
+             [ 1; 2; 3; 4; 5 ]));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~count:100
+         ~name:"per-object ring walks = filter over entries" gen_log_ops
+         (fun ops ->
+           let log = build_log ops in
+           let entries = Access_log.entries log in
+           List.for_all
+             (fun o ->
+               let oid = Oid.of_int o in
+               let rec walk i acc =
+                 if i < 0 then acc
+                 else walk (Access_log.prev_same_oid log i)
+                        (Access_log.get log i :: acc)
+               in
+               walk (Access_log.last_index_on_oid log oid) []
+               = List.filter
+                   (fun e -> Oid.equal e.Access_log.oid oid)
+                   entries)
+             [ 0; 1; 2 ]));
+  ]
+
 (* property tests *)
 
 let prop_tests =
@@ -288,5 +466,7 @@ let () =
       ("primitive", primitive_tests);
       ("base_object", base_object_tests);
       ("memory", memory_tests);
+      ("vectors", vec_tests);
+      ("access_log", log_bounds_tests @ log_prop_tests);
       ("properties", prop_tests);
     ]

@@ -309,10 +309,63 @@ let wire_tests =
          (fun instrs -> roundtrip (Build.history instrs)));
   ]
 
+(* the recorder packs events into flat columns; whatever goes in through
+   [add] or the specialized entry points must come back out of [history]
+   as the same [Event.t] values in order *)
+let recorder_tests =
+  [
+    Alcotest.test_case "columns round-trip to events" `Quick (fun () ->
+        let r = Recorder.create () in
+        let t1 = Tid.v 1 and t2 = Tid.v 2 in
+        let x = Item.v "x" and y = Item.v "y" in
+        let expected =
+          [
+            Event.Inv { tid = t1; pid = 1; op = Event.Begin; at = 0 };
+            Event.Resp
+              { tid = t1; pid = 1; op = Event.Begin; resp = Event.R_ok;
+                at = 0 };
+            Event.Inv { tid = t1; pid = 1; op = Event.Read x; at = 1 };
+            Event.Resp
+              { tid = t1; pid = 1; op = Event.Read x;
+                resp = Event.R_value (Value.int 7); at = 2 };
+            Event.Inv
+              { tid = t2; pid = 2; op = Event.Write (y, Value.int 3);
+                at = 3 };
+            Event.Resp
+              { tid = t2; pid = 2; op = Event.Write (y, Value.int 3);
+                resp = Event.R_aborted; at = 4 };
+            Event.Inv { tid = t1; pid = 1; op = Event.Try_commit; at = 5 };
+            Event.Resp
+              { tid = t1; pid = 1; op = Event.Try_commit;
+                resp = Event.R_committed; at = 6 };
+          ]
+        in
+        (* the first four through the generic/specialized inv/resp mix,
+           the rest through [add] *)
+        Recorder.inv r ~tid:t1 ~pid:1 ~at:0 Event.Begin;
+        Recorder.resp r ~tid:t1 ~pid:1 ~at:0 Event.Begin Event.R_ok;
+        Recorder.inv_read r ~tid:t1 ~pid:1 ~at:1 x;
+        Recorder.resp_read_value r ~tid:t1 ~pid:1 ~at:2 x (Value.int 7);
+        Recorder.inv_write r ~tid:t2 ~pid:2 ~at:3 y (Value.int 3);
+        Recorder.resp_write_aborted r ~tid:t2 ~pid:2 ~at:4 y (Value.int 3);
+        List.iter (Recorder.add r) (List.filteri (fun i _ -> i >= 6) expected);
+        Alcotest.(check int) "length" 8 (Recorder.length r);
+        check "events" true
+          (History.events (Recorder.history r) = expected));
+    Alcotest.test_case "out-of-range pid is rejected" `Quick (fun () ->
+        let r = Recorder.create () in
+        check "raises" true
+          (try
+             Recorder.inv r ~tid:(Tid.v 1) ~pid:5000 ~at:0 Event.Begin;
+             false
+           with Invalid_argument _ -> true));
+  ]
+
 let () =
   Alcotest.run "trace"
     [
       ("history", history_tests);
+      ("recorder", recorder_tests);
       ("well-formed", wf_tests);
       ("legality", legality_tests);
       ("properties", prop_tests);
